@@ -1,0 +1,64 @@
+/// \file bench_analytical_latency.cc
+/// \brief Reproduces Figure 5: the distribution of analytical latency /
+/// actual latency and their Pearson correlation under the default Spark
+/// configuration, validating analytical latency (sum of task latencies
+/// over total cores) as the stage-level modeling target (Section 4.2).
+/// The paper reports correlations of 97.2% (TPC-H) and 87.6% (TPC-DS)
+/// with the ratio distribution clustered around 1.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "tuner/tuner.h"
+#include "workload/tpcds.h"
+#include "workload/tpch.h"
+
+using namespace sparkopt;
+using namespace sparkopt::benchutil;
+
+namespace {
+
+void RunBenchmarkSet(const char* name, const std::vector<Query>& queries) {
+  Tuner tuner(TunerOptions{});
+  std::vector<double> analytical, actual, ratio;
+  for (const auto& q : queries) {
+    auto out = tuner.Run(q, TuningMethod::kDefault);
+    if (!out.ok()) continue;
+    analytical.push_back(out->execution.exec.analytical_latency);
+    actual.push_back(out->execution.exec.latency);
+    ratio.push_back(analytical.back() / std::max(actual.back(), 1e-9));
+  }
+  const double corr = PearsonCorrelation(analytical, actual);
+  std::printf("%s: %zu queries, Pearson(analytical, actual) = %.1f%%\n",
+              name, actual.size(), 100.0 * corr);
+  std::printf("  ratio analytical/actual: P10 %.2f  P50 %.2f  P90 %.2f\n",
+              Percentile(ratio, 10), Percentile(ratio, 50),
+              Percentile(ratio, 90));
+  // CDF of the ratio (Figure 5's curve).
+  std::sort(ratio.begin(), ratio.end());
+  std::printf("  CDF:");
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    const size_t i =
+        std::min(ratio.size() - 1,
+                 static_cast<size_t>(p * (ratio.size() - 1)));
+    std::printf("  %.0f%%<=%.2f", 100 * p, ratio[i]);
+  }
+  std::printf("\n\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "==== Figure 5: analytical latency vs actual latency (default "
+      "configuration) ====\n\n");
+  const auto tpch = TpchCatalog(100.0);
+  RunBenchmarkSet("TPC-H", TpchBenchmark(&tpch));
+  const auto tpcds = TpcdsCatalog(100.0);
+  auto ds_queries = TpcdsBenchmark(&tpcds);
+  if (FastMode()) ds_queries.resize(30);
+  RunBenchmarkSet("TPC-DS", ds_queries);
+  return 0;
+}

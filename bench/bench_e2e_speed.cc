@@ -1,0 +1,144 @@
+/// \file bench_e2e_speed.cc
+/// \brief Reproduces Table 4, Figure 10(g), and Figure 19: end-to-end
+/// latency reduction under a strong speed preference (0.9, 0.1) against
+/// the Spark-default configuration, for MO-WS (the strongest prior
+/// query-level MOO), HMOOC3 (compile-time only) and HMOOC3+ (with runtime
+/// optimization).
+///
+/// Paper reference (Table 4): HMOOC3/HMOOC3+ cut total latency by 59-64%
+/// with 0.47-0.83 s average solving time and 100% coverage within 2 s;
+/// MO-WS reaches only 18-25% with 2.6-15 s solving time. Figure 10(g):
+/// runtime optimization adds up to ~22% extra reduction on long-running
+/// queries. Figure 19: the per-query latency breakdown.
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "tuner/tuner.h"
+#include "workload/tpcds.h"
+#include "workload/tpch.h"
+
+using namespace sparkopt;
+using namespace sparkopt::benchutil;
+
+namespace {
+
+struct MethodStats {
+  double total_default = 0.0;
+  double total = 0.0;
+  std::vector<double> reductions;   // per query, vs default
+  std::vector<double> solve_times;
+  int within_1s = 0, within_2s = 0;
+  int n = 0;
+};
+
+void Accumulate(MethodStats* s, double def_lat, double lat,
+                double solve_time) {
+  s->total_default += def_lat;
+  s->total += lat;
+  s->reductions.push_back(1.0 - lat / def_lat);
+  s->solve_times.push_back(solve_time);
+  if (solve_time <= 1.0) ++s->within_1s;
+  if (solve_time <= 2.0) ++s->within_2s;
+  ++s->n;
+}
+
+void RunBenchmarkSet(const char* name, const std::vector<Query>& queries,
+                     bool per_query_table) {
+  TunerOptions options;
+  options.preference = {0.9, 0.1};
+  Tuner tuner(options);
+
+  MethodStats mo_ws, h3, h3p;
+  std::vector<std::pair<double, double>> long_running;  // (default, extra)
+  Table per_query({"query", "default (s)", "MO-WS (s)", "HMOOC3 (s)",
+                   "HMOOC3+ (s)", "HMOOC3+ red."});
+
+  for (const auto& q : queries) {
+    auto def = tuner.Run(q, TuningMethod::kDefault);
+    auto ws = tuner.Run(q, TuningMethod::kMoWs);
+    auto a = tuner.Run(q, TuningMethod::kHmooc3);
+    auto b = tuner.Run(q, TuningMethod::kHmooc3Plus);
+    if (!def.ok() || !ws.ok() || !a.ok() || !b.ok()) continue;
+    const double d = def->execution.exec.latency;
+    Accumulate(&mo_ws, d, ws->execution.exec.latency, ws->solve_seconds);
+    Accumulate(&h3, d, a->execution.exec.latency, a->solve_seconds);
+    Accumulate(&h3p, d, b->execution.exec.latency, b->solve_seconds);
+    long_running.push_back(
+        {d, (a->execution.exec.latency - b->execution.exec.latency) / d});
+    per_query.AddRow(
+        {q.name, Fmt("%.2f", d), Fmt("%.2f", ws->execution.exec.latency),
+         Fmt("%.2f", a->execution.exec.latency),
+         Fmt("%.2f", b->execution.exec.latency),
+         Pct(1.0 - b->execution.exec.latency / d)});
+  }
+
+  std::printf("%s (%d queries):\n\n", name, h3.n);
+  Table t({"metric", "MO-WS", "HMOOC3", "HMOOC3+"});
+  auto row = [&](const char* metric,
+                 const std::function<std::string(const MethodStats&)>& f) {
+    t.AddRow({metric, f(mo_ws), f(h3), f(h3p)});
+  };
+  row("coverage (1s)", [](const MethodStats& s) {
+    return Pct(static_cast<double>(s.within_1s) / s.n);
+  });
+  row("coverage (2s)", [](const MethodStats& s) {
+    return Pct(static_cast<double>(s.within_2s) / s.n);
+  });
+  row("total lat reduction", [](const MethodStats& s) {
+    return Pct(1.0 - s.total / s.total_default);
+  });
+  row("avg lat reduction", [](const MethodStats& s) {
+    return Pct(Mean(s.reductions));
+  });
+  row("avg solving time (s)", [](const MethodStats& s) {
+    return Fmt("%.2f", Mean(s.solve_times));
+  });
+  row("max solving time (s)", [](const MethodStats& s) {
+    return Fmt("%.2f", Percentile(s.solve_times, 100));
+  });
+  row("avg reduction / solving time", [](const MethodStats& s) {
+    return Pct(Mean(s.reductions) / std::max(Mean(s.solve_times), 1e-9));
+  });
+  t.Print();
+
+  // ---- Figure 10(g): extra benefit of runtime optimization on the
+  // longest-running queries.
+  std::sort(long_running.begin(), long_running.end(),
+            [](auto& a, auto& b) { return a.first > b.first; });
+  const size_t top = std::min<size_t>(5, long_running.size());
+  double best_extra = 0;
+  double sum_extra = 0;
+  for (size_t i = 0; i < top; ++i) {
+    best_extra = std::max(best_extra, long_running[i].second);
+    sum_extra += long_running[i].second;
+  }
+  std::printf(
+      "\nFigure 10(g): runtime opt extra reduction on the %zu "
+      "longest-running queries: avg %.1f%%, max %.1f%%\n",
+      top, 100 * sum_extra / top, 100 * best_extra);
+
+  if (per_query_table) {
+    std::printf("\nFigure 19: per-query latency comparison:\n");
+    per_query.Print();
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "==== Table 4: latency reduction with a strong speed preference "
+      "(0.9, 0.1) ====\n\n");
+  const auto tpch = TpchCatalog(100.0);
+  RunBenchmarkSet("TPC-H", TpchBenchmark(&tpch), /*per_query_table=*/true);
+  const auto tpcds = TpcdsCatalog(100.0);
+  auto ds = TpcdsBenchmark(&tpcds);
+  if (FastMode()) ds.resize(12);
+  RunBenchmarkSet("TPC-DS", ds, /*per_query_table=*/false);
+  return 0;
+}

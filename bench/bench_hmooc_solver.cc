@@ -1,0 +1,97 @@
+/// \file bench_hmooc_solver.cc
+/// \brief Micro-benchmarks of the full HMOOC compile-time solve on
+/// representative plan shapes (the "solving time" axis of Figure 10),
+/// plus ablations over the algorithm's two budgets: theta_c candidates
+/// and the theta_p sample pool (Algorithm 1's knobs).
+
+#include <benchmark/benchmark.h>
+
+#include "moo/hmooc.h"
+#include "moo/objective_models.h"
+#include "workload/tpcds.h"
+#include "workload/tpch.h"
+
+namespace sparkopt {
+namespace {
+
+void BM_HmoocSolveTpchQ3(benchmark::State& state) {
+  static auto catalog = TpchCatalog(100);
+  static auto q = *MakeTpchQuery(3, &catalog);
+  ClusterSpec cluster;
+  CostModelParams cost;
+  AnalyticSubQModel model(&q, cluster, cost);
+  HmoocOptions ho;
+  ho.seed = 3;
+  HmoocSolver solver(&model, ho);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve());
+  }
+}
+BENCHMARK(BM_HmoocSolveTpchQ3)->Unit(benchmark::kMillisecond);
+
+void BM_HmoocSolveTpchQ9(benchmark::State& state) {
+  static auto catalog = TpchCatalog(100);
+  static auto q = *MakeTpchQuery(9, &catalog);
+  ClusterSpec cluster;
+  CostModelParams cost;
+  AnalyticSubQModel model(&q, cluster, cost);
+  HmoocOptions ho;
+  ho.seed = 3;
+  HmoocSolver solver(&model, ho);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve());
+  }
+}
+BENCHMARK(BM_HmoocSolveTpchQ9)->Unit(benchmark::kMillisecond);
+
+void BM_HmoocSolveWideTpcds(benchmark::State& state) {
+  // The widest TPC-DS shapes (multi-channel unions) stress the per-subQ
+  // loop; find one with > 25 subQs.
+  static auto catalog = TpcdsCatalog(100);
+  static Query q = [] {
+    for (int qid = 1; qid <= 102; ++qid) {
+      auto cand = *MakeTpcdsQuery(qid, &catalog);
+      if (cand.NumSubQueries() > 25) return cand;
+    }
+    return *MakeTpcdsQuery(1, &catalog);
+  }();
+  ClusterSpec cluster;
+  CostModelParams cost;
+  AnalyticSubQModel model(&q, cluster, cost);
+  HmoocOptions ho;
+  ho.seed = 3;
+  HmoocSolver solver(&model, ho);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve());
+  }
+  state.SetLabel(std::to_string(q.NumSubQueries()) + " subQs");
+}
+BENCHMARK(BM_HmoocSolveWideTpcds)->Unit(benchmark::kMillisecond);
+
+void BM_HmoocBudgetSweep(benchmark::State& state) {
+  static auto catalog = TpchCatalog(100);
+  static auto q = *MakeTpchQuery(9, &catalog);
+  ClusterSpec cluster;
+  CostModelParams cost;
+  AnalyticSubQModel model(&q, cluster, cost);
+  HmoocOptions ho;
+  ho.seed = 3;
+  ho.theta_c_samples = state.range(0);
+  ho.clusters = std::max<int>(2, state.range(0) / 6);
+  ho.theta_p_samples = state.range(1);
+  HmoocSolver solver(&model, ho);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve());
+  }
+}
+BENCHMARK(BM_HmoocBudgetSweep)
+    ->Args({16, 32})
+    ->Args({32, 64})
+    ->Args({64, 96})
+    ->Args({128, 192})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sparkopt
+
+BENCHMARK_MAIN();

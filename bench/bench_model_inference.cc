@@ -1,0 +1,101 @@
+/// \file bench_model_inference.cc
+/// \brief Micro-benchmarks of the components on the MOO critical path:
+/// analytic subQ evaluation (the compile-time phi), MLP inference (the
+/// learned phi — the paper's Xput column), feature extraction, and the
+/// physical planner. The paper's 1-2 s solving budget rests on these
+/// being 10^4-10^5 evaluations/second.
+
+#include <benchmark/benchmark.h>
+
+#include "model/features.h"
+#include "model/mlp.h"
+#include "model/subq_evaluator.h"
+#include "moo/objective_models.h"
+#include "workload/tpch.h"
+
+namespace sparkopt {
+namespace {
+
+struct Fixture {
+  std::vector<TableStats> catalog = TpchCatalog(100);
+  ClusterSpec cluster;
+  CostModelParams cost;
+  Query q9 = *MakeTpchQuery(9, &catalog);
+  SubQEvaluator eval{&q9, cluster, cost};
+  AnalyticSubQModel model{&q9, cluster, cost};
+  std::vector<double> conf = DefaultSparkConfig();
+};
+
+Fixture& Fx() {
+  static Fixture fx;
+  return fx;
+}
+
+void BM_AnalyticSubQEvaluate(benchmark::State& state) {
+  auto& fx = Fx();
+  int subq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.model.Evaluate(subq, fx.conf));
+    subq = (subq + 1) % fx.model.num_subqs();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnalyticSubQEvaluate);
+
+void BM_StageFeatureExtraction(benchmark::State& state) {
+  auto& fx = Fx();
+  const auto st = fx.eval.BuildStage(
+      5, DecodeContext(fx.conf), DecodePlan(fx.conf), DecodeStage(fx.conf),
+      CardinalitySource::kEstimated);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StageFeatures(fx.q9.plan, st, fx.conf, false,
+                                           {}, {}, false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StageFeatureExtraction);
+
+void BM_MlpInference(benchmark::State& state) {
+  const int dim = FeatureLayout::Total();
+  Mlp net({dim, 64, 64, 2}, 3);
+  std::vector<double> x(dim, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.Predict(x));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MlpInference);
+
+void BM_PhysicalPlanning(benchmark::State& state) {
+  auto& fx = Fx();
+  PhysicalPlanner planner(&fx.q9.plan, fx.q9.plan.DecomposeSubQueries());
+  const ContextParams tc = DecodeContext(fx.conf);
+  const PlanParams tp = DecodePlan(fx.conf);
+  const StageParams ts = DecodeStage(fx.conf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.Plan(
+        tc, {tp}, {ts}, CardinalitySource::kEstimated));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PhysicalPlanning);
+
+void BM_SimulateQuery(benchmark::State& state) {
+  auto& fx = Fx();
+  Simulator sim(fx.cluster, fx.cost);
+  PhysicalPlanner planner(&fx.q9.plan, fx.q9.plan.DecomposeSubQueries());
+  const ContextParams tc = DecodeContext(fx.conf);
+  auto pp = *planner.Plan(tc, {DecodePlan(fx.conf)}, {DecodeStage(fx.conf)},
+                          CardinalitySource::kTrue);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.RunAll(pp, tc, 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulateQuery);
+
+}  // namespace
+}  // namespace sparkopt
+
+BENCHMARK_MAIN();

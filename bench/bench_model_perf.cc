@@ -1,0 +1,96 @@
+/// \file bench_model_perf.cc
+/// \brief Reproduces Table 3 (and Expt 2): accuracy and inference
+/// throughput of the three model targets — compile-time subQ, runtime QS,
+/// and runtime collapsed-LQP — on TPC-H and TPC-DS traces, split 8:1:1.
+///
+/// Paper reference (Table 3): latency WMAPE 13-28%, P50 3-10%, P90
+/// 29-65%, corr 93-99%; IO WMAPE 0.2-11% with corr 99-100%; throughput
+/// 60-462K predictions/s. Expt 2: QS latency accuracy slightly below
+/// subQ; QS IO accuracy better than subQ (true input sizes).
+
+#include <cstdio>
+#include <functional>
+
+#include "bench_util.h"
+#include "model/trainer.h"
+#include "workload/tpcds.h"
+#include "workload/tpch.h"
+
+using namespace sparkopt;
+using namespace sparkopt::benchutil;
+
+namespace {
+
+void RunBenchmarkSet(
+    const char* name,
+    const std::function<Result<Query>(int, uint64_t)>& make_query,
+    int num_templates) {
+  ClusterSpec cluster;
+  CostModelParams cost;
+  TraceCollector collector(cluster, cost);
+  ModelDataset subq, qs, lqp;
+  TraceOptions topts;
+  topts.runs = FastMode() ? 150 : 900;
+  topts.seed = 42;
+  Timer collect_timer;
+  auto st = collector.Collect(make_query, num_templates, topts, &subq, &qs,
+                              &lqp);
+  if (!st.ok()) {
+    std::printf("collect failed: %s\n", st.ToString().c_str());
+    return;
+  }
+  std::printf(
+      "%s: %zu subQ / %zu QS / %zu LQP samples from %d runs (%.1fs)\n",
+      name, subq.size(), qs.size(), lqp.size(), topts.runs,
+      collect_timer.Seconds());
+
+  auto s1 = SplitDataset(subq, 1);
+  auto s2 = SplitDataset(qs, 2);
+  auto s3 = SplitDataset(lqp, 3);
+  ModelSuite suite;
+  Mlp::TrainOptions mopts;
+  mopts.epochs = FastMode() ? 40 : 320;
+  mopts.patience = 45;
+  mopts.learning_rate = 1e-3;
+  Timer train_timer;
+  st = suite.Train(s1.train, s2.train, s3.train, 7, mopts);
+  if (!st.ok()) {
+    std::printf("train failed: %s\n", st.ToString().c_str());
+    return;
+  }
+  std::printf("training time: %.1fs\n\n", train_timer.Seconds());
+
+  Table t({"target", "lat WMAPE", "lat P50", "lat P90", "lat Corr",
+           "IO WMAPE", "IO P50", "IO P90", "IO Corr", "Xput K/s"});
+  auto add = [&](const char* target, const Regressor& model,
+                 const ModelDataset& test) {
+    auto p = suite.Evaluate(model, test);
+    t.AddRow({target, Fmt("%.3f", p.latency.wmape),
+              Fmt("%.3f", p.latency.p50), Fmt("%.3f", p.latency.p90),
+              Fmt("%.2f", p.latency.corr), Fmt("%.3f", p.io.wmape),
+              Fmt("%.3f", p.io.p50), Fmt("%.3f", p.io.p90),
+              Fmt("%.2f", p.io.corr),
+              Fmt("%.0f", p.throughput_per_sec / 1000.0)});
+  };
+  add("subQ", suite.subq_model(), s1.test);
+  add("QS", suite.qs_model(), s2.test);
+  add("LQP", suite.lqp_model(), s3.test);
+  t.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== Table 3: model performance (Graph+Regressor) ====\n\n");
+  const auto tpch = TpchCatalog(100.0);
+  RunBenchmarkSet(
+      "TPC-H",
+      [&](int qid, uint64_t v) { return MakeTpchQuery(qid, &tpch, v); }, 22);
+  const auto tpcds = TpcdsCatalog(100.0);
+  RunBenchmarkSet(
+      "TPC-DS",
+      [&](int qid, uint64_t v) { return MakeTpcdsQuery(qid, &tpcds, v); },
+      102);
+  return 0;
+}

@@ -1,0 +1,75 @@
+/// \file bench_pareto_ops.cc
+/// \brief Micro-benchmarks of the Pareto primitives every MOO solver sits
+/// on: non-dominated filtering (the O(n log n) 2D path and the k-D
+/// fallback), hypervolume, WUN recommendation, and the Minkowski merge of
+/// HMOOC1's divide-and-conquer aggregation.
+
+#include <benchmark/benchmark.h>
+
+#include "common/pareto.h"
+#include "common/rng.h"
+
+namespace sparkopt {
+namespace {
+
+std::vector<ObjectiveVector> RandomPoints(size_t n, int k, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ObjectiveVector> pts(n, ObjectiveVector(k));
+  for (auto& p : pts) {
+    for (auto& v : p) v = rng.Uniform();
+  }
+  return pts;
+}
+
+void BM_ParetoFilter2D(benchmark::State& state) {
+  const auto pts = RandomPoints(state.range(0), 2, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParetoIndices(pts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParetoFilter2D)->Range(64, 65536);
+
+void BM_ParetoFilter3D(benchmark::State& state) {
+  const auto pts = RandomPoints(state.range(0), 3, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParetoIndices(pts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParetoFilter3D)->Range(64, 4096);
+
+void BM_Hypervolume2D(benchmark::State& state) {
+  auto pts = RandomPoints(state.range(0), 2, 7);
+  auto front = ParetoFilter(pts);
+  ObjectiveVector ref = {1.2, 1.2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Hypervolume2D(front, ref));
+  }
+}
+BENCHMARK(BM_Hypervolume2D)->Range(64, 16384);
+
+void BM_WunRecommendation(benchmark::State& state) {
+  auto front = ParetoFilter(RandomPoints(state.range(0), 2, 11));
+  std::vector<double> w = {0.9, 0.1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WeightedUtopiaNearest(front, w));
+  }
+}
+BENCHMARK(BM_WunRecommendation)->Range(64, 16384);
+
+void BM_MinkowskiMerge(benchmark::State& state) {
+  IndexedFront a, b;
+  a.points = ParetoFilter(RandomPoints(state.range(0), 2, 3));
+  b.points = ParetoFilter(RandomPoints(state.range(0), 2, 5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MergeFronts(a, b, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * a.size() * b.size());
+}
+BENCHMARK(BM_MinkowskiMerge)->Range(256, 16384);
+
+}  // namespace
+}  // namespace sparkopt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/pareto.h"
+#include "moo/problem.h"
+
+/// \file bench_util.h
+/// \brief Shared helpers for the experiment harnesses: fixed-width table
+/// printing, hypervolume against a shared per-query reference point, and
+/// a FAST-mode switch (SPARKOPT_BENCH_FAST=1) that shrinks workloads for
+/// smoke runs.
+
+namespace sparkopt {
+namespace benchutil {
+
+inline bool FastMode() {
+  const char* v = std::getenv("SPARKOPT_BENCH_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+/// Simple fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> width(headers_.size(), 0);
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      width[i] = headers_[i].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < width.size(); ++i) {
+        width[i] = std::max(width[i], row[i].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("|");
+      for (size_t i = 0; i < width.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : "";
+        std::printf(" %-*s |", static_cast<int>(width[i]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (size_t i = 0; i < width.size(); ++i) {
+      std::printf("%s|", std::string(width[i] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+inline std::string Pct(double v) { return Fmt("%.1f%%", 100.0 * v); }
+
+/// Normalized hypervolume of a front against a reference point, where the
+/// objective space is first min-max scaled by `lo`/`ref` so HV in [0, 1].
+inline double NormalizedHypervolume(const std::vector<ObjectiveVector>& front,
+                                    const ObjectiveVector& lo,
+                                    const ObjectiveVector& ref) {
+  std::vector<ObjectiveVector> scaled;
+  scaled.reserve(front.size());
+  for (const auto& p : front) {
+    ObjectiveVector q(p.size());
+    for (size_t i = 0; i < p.size(); ++i) {
+      const double range = ref[i] - lo[i];
+      q[i] = range > 0 ? (p[i] - lo[i]) / range : 0.0;
+    }
+    scaled.push_back(std::move(q));
+  }
+  ObjectiveVector unit_ref(lo.size(), 1.0);
+  return Hypervolume2D(scaled, unit_ref);
+}
+
+/// Collects objective vectors of a MooRunResult.
+inline std::vector<ObjectiveVector> FrontOf(const MooRunResult& r) {
+  std::vector<ObjectiveVector> pts;
+  pts.reserve(r.pareto.size());
+  for (const auto& s : r.pareto) pts.push_back(s.objectives);
+  return pts;
+}
+
+/// Extends shared bounds from a front (for common-reference HV).
+inline void ExtendBounds(const std::vector<ObjectiveVector>& front,
+                         ObjectiveVector* lo, ObjectiveVector* hi) {
+  for (const auto& p : front) {
+    for (size_t i = 0; i < p.size(); ++i) {
+      (*lo)[i] = std::min((*lo)[i], p[i]);
+      (*hi)[i] = std::max((*hi)[i], p[i]);
+    }
+  }
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace benchutil
+}  // namespace sparkopt

@@ -1,0 +1,83 @@
+/// \file model_training.cpp
+/// \brief The modeling pipeline of Section 4: collect execution traces
+/// from LHS-sampled configurations over parametric query variants, train
+/// the subQ / QS / collapsed-LQP regressors, and report the Table-3
+/// accuracy metrics, then use the learned subQ model inside HMOOC.
+///
+///   ./model_training [runs]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "model/trainer.h"
+#include "tuner/tuner.h"
+#include "workload/tpch.h"
+
+int main(int argc, char** argv) {
+  using namespace sparkopt;
+  const int runs = argc > 1 ? std::atoi(argv[1]) : 400;
+
+  const auto catalog = TpchCatalog(100.0);
+  ClusterSpec cluster;
+  CostModelParams cost;
+
+  std::printf("collecting traces from %d (variant, configuration) runs...\n",
+              runs);
+  TraceCollector collector(cluster, cost);
+  ModelDataset subq, qs, lqp;
+  TraceOptions topts;
+  topts.runs = runs;
+  topts.seed = 42;
+  auto st = collector.Collect(
+      [&](int qid, uint64_t v) { return MakeTpchQuery(qid, &catalog, v); },
+      22, topts, &subq, &qs, &lqp);
+  if (!st.ok()) {
+    std::fprintf(stderr, "collect failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("samples: %zu subQ, %zu QS, %zu collapsed-LQP\n\n",
+              subq.size(), qs.size(), lqp.size());
+
+  auto s1 = SplitDataset(subq, 1);
+  auto s2 = SplitDataset(qs, 2);
+  auto s3 = SplitDataset(lqp, 3);
+  ModelSuite suite;
+  Mlp::TrainOptions mopts;
+  mopts.epochs = 150;
+  mopts.patience = 25;
+  st = suite.Train(s1.train, s2.train, s3.train, 7, mopts);
+  if (!st.ok()) {
+    std::fprintf(stderr, "train failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  auto report = [&](const char* target, const Regressor& model,
+                    const ModelDataset& test) {
+    auto perf = suite.Evaluate(model, test);
+    std::printf(
+        "%-4s latency: WMAPE %.3f  P50 %.3f  P90 %.3f  corr %.2f | IO: "
+        "WMAPE %.3f corr %.2f | %.0fK preds/s\n",
+        target, perf.latency.wmape, perf.latency.p50, perf.latency.p90,
+        perf.latency.corr, perf.io.wmape, perf.io.corr,
+        perf.throughput_per_sec / 1000.0);
+  };
+  report("subQ", suite.subq_model(), s1.test);
+  report("QS", suite.qs_model(), s2.test);
+  report("LQP", suite.lqp_model(), s3.test);
+
+  // Drive HMOOC with the learned model (the paper's actual loop).
+  std::printf("\ntuning TPCH-Q9 with the learned subQ model:\n");
+  TunerOptions options;
+  options.learned_subq_model = &suite.subq_model();
+  Tuner tuner(options);
+  auto q = *MakeTpchQuery(9, &catalog);
+  auto def = *tuner.Run(q, TuningMethod::kDefault);
+  auto h3p = *tuner.Run(q, TuningMethod::kHmooc3Plus);
+  std::printf("default: %.2fs | HMOOC3+ (learned): %.2fs (%.0f%% faster, "
+              "solve %.2fs)\n",
+              def.execution.exec.latency, h3p.execution.exec.latency,
+              100.0 * (1 - h3p.execution.exec.latency /
+                               def.execution.exec.latency),
+              h3p.solve_seconds);
+  return 0;
+}

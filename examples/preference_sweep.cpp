@@ -1,0 +1,65 @@
+/// \file preference_sweep.cpp
+/// \brief Cost-performance reasoning in the cloud (the paper's Table 5 /
+/// Figure 4 story): sweep the latency/cost preference vector and show how
+/// the multi-objective Pareto front plus Weighted-Utopia-Nearest adapts,
+/// while single-objective fixed weights (SO-FW) barely moves.
+///
+///   ./preference_sweep [tpch_query_id]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "tuner/tuner.h"
+#include "workload/tpch.h"
+
+int main(int argc, char** argv) {
+  using namespace sparkopt;
+  const int qid = argc > 1 ? std::atoi(argv[1]) : 5;
+
+  const auto catalog = TpchCatalog(100.0);
+  auto query = *MakeTpchQuery(qid, &catalog);
+
+  TunerOptions options;
+  Tuner probe(options);
+  const auto baseline = *probe.Run(query, TuningMethod::kDefault);
+  std::printf("%s, default: latency %.2fs cost $%.4f\n\n",
+              query.name.c_str(), baseline.execution.exec.latency,
+              baseline.execution.exec.cost);
+
+  // The Pareto front computed once (it does not depend on the weights).
+  auto front = *probe.Run(query, TuningMethod::kHmooc3);
+  std::printf("HMOOC3 Pareto front (%zu points, solved in %.2fs):\n",
+              front.moo.pareto.size(), front.solve_seconds);
+  for (const auto& sol : front.moo.pareto) {
+    std::printf("  predicted latency %7.2fs  cost $%.4f   (%d cores x %d)\n",
+                sol.objectives[0], sol.objectives[1],
+                static_cast<int>(sol.conf[kExecutorCores]),
+                static_cast<int>(sol.conf[kExecutorInstances]));
+  }
+
+  std::printf("\n%-12s | %-25s | %-25s\n", "pref (l,c)", "HMOOC3+ lat/cost",
+              "SO-FW lat/cost");
+  const double prefs[][2] = {
+      {0.0, 1.0}, {0.1, 0.9}, {0.5, 0.5}, {0.9, 0.1}, {1.0, 0.0}};
+  for (const auto& p : prefs) {
+    TunerOptions o;
+    o.preference = {p[0], p[1]};
+    Tuner tuner(o);
+    auto ours = *tuner.Run(query, TuningMethod::kHmooc3Plus);
+    auto sofw = *tuner.Run(query, TuningMethod::kSoFixedWeights);
+    auto pct = [&](double v, double base) {
+      return 100.0 * (v / base - 1.0);
+    };
+    const double bl = baseline.execution.exec.latency;
+    const double bc = baseline.execution.exec.cost;
+    std::printf(
+        "(%.1f, %.1f)   | %6.2fs (%+5.0f%%) $%.4f (%+5.0f%%) | %6.2fs "
+        "(%+5.0f%%) $%.4f (%+5.0f%%)\n",
+        p[0], p[1], ours.execution.exec.latency,
+        pct(ours.execution.exec.latency, bl), ours.execution.exec.cost,
+        pct(ours.execution.exec.cost, bc), sofw.execution.exec.latency,
+        pct(sofw.execution.exec.latency, bl), sofw.execution.exec.cost,
+        pct(sofw.execution.exec.cost, bc));
+  }
+  return 0;
+}

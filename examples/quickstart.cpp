@@ -1,0 +1,58 @@
+/// \file quickstart.cpp
+/// \brief Minimal end-to-end use of the sparkopt public API:
+/// build a TPC-H query, run the HMOOC3+ optimizer with a
+/// latency-leaning preference, and compare against the Spark defaults.
+///
+///   ./quickstart [tpch_query_id]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "tuner/tuner.h"
+#include "workload/tpch.h"
+
+int main(int argc, char** argv) {
+  using namespace sparkopt;
+  const int qid = argc > 1 ? std::atoi(argv[1]) : 9;
+
+  // 1. A workload: TPC-H at scale factor 100 (the paper's setup).
+  const auto catalog = TpchCatalog(100.0);
+  auto query_or = MakeTpchQuery(qid, &catalog);
+  if (!query_or.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 query_or.status().ToString().c_str());
+    return 1;
+  }
+  const Query& query = *query_or;
+  std::printf("query %s: %zu operators, %d subQs\n", query.name.c_str(),
+              query.plan.num_ops(), query.NumSubQueries());
+
+  // 2. The tuner: preference 90%% latency / 10%% cost, as in Table 4.
+  TunerOptions options;
+  options.preference = {0.9, 0.1};
+  Tuner tuner(options);
+
+  // 3. Baseline: Spark defaults with plain AQE.
+  auto baseline = *tuner.Run(query, TuningMethod::kDefault);
+  std::printf("default   : latency %7.2fs  cost $%.4f\n",
+              baseline.execution.exec.latency,
+              baseline.execution.exec.cost);
+
+  // 4. The full system: compile-time HMOOC3 + runtime optimization.
+  auto tuned = *tuner.Run(query, TuningMethod::kHmooc3Plus);
+  std::printf(
+      "HMOOC3+   : latency %7.2fs  cost $%.4f  (solved in %.2fs, "
+      "Pareto set of %zu)\n",
+      tuned.execution.exec.latency, tuned.execution.exec.cost,
+      tuned.solve_seconds, tuned.moo.pareto.size());
+
+  const auto& conf = tuned.chosen.conf;
+  std::printf(
+      "chosen theta_c: %d cores x %d executors, %.0f GB memory each\n",
+      static_cast<int>(conf[kExecutorCores]),
+      static_cast<int>(conf[kExecutorInstances]), conf[kExecutorMemoryGb]);
+  std::printf("latency reduction: %.0f%%\n",
+              100.0 * (1.0 - tuned.execution.exec.latency /
+                                 baseline.execution.exec.latency));
+  return 0;
+}

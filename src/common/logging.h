@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+/// \file logging.h
+/// \brief Minimal leveled logging and assertion macros.
+///
+/// Verbosity is controlled by SetLogLevel; benches default to warnings
+/// only so table output stays clean.
+
+namespace sparkopt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is emitted. Not thread safe; set it
+/// once at startup.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return ss_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+
+// Swallows the streamed expression when the level is filtered out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace sparkopt
+
+#define SPARKOPT_LOG_DEBUG()                                              \
+  ::sparkopt::internal::LogMessage(::sparkopt::LogLevel::kDebug, __FILE__, \
+                                   __LINE__)                               \
+      .stream()
+#define SPARKOPT_LOG_INFO()                                               \
+  ::sparkopt::internal::LogMessage(::sparkopt::LogLevel::kInfo, __FILE__,  \
+                                   __LINE__)                               \
+      .stream()
+#define SPARKOPT_LOG_WARN()                                                  \
+  ::sparkopt::internal::LogMessage(::sparkopt::LogLevel::kWarning, __FILE__, \
+                                   __LINE__)                                 \
+      .stream()
+
+/// Hard invariant check: aborts with a message when violated. Used for
+/// programming errors only (API misuse returns Status instead).
+#define SPARKOPT_CHECK(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,        \
+                   __LINE__, msg);                                         \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)

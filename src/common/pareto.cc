@@ -1,0 +1,243 @@
+#include "common/pareto.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+
+namespace sparkopt {
+
+bool Dominates(const ObjectiveVector& a, const ObjectiveVector& b) {
+  bool strictly_better = false;
+  const size_t k = a.size();
+  for (size_t i = 0; i < k; ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+namespace {
+
+// Sort-based 2D non-dominated filter (Kung et al. 1975): sort by first
+// objective then sweep keeping the running minimum of the second.
+std::vector<size_t> Pareto2D(const std::vector<ObjectiveVector>& pts) {
+  std::vector<size_t> order(pts.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t i, size_t j) {
+    if (pts[i][0] != pts[j][0]) return pts[i][0] < pts[j][0];
+    if (pts[i][1] != pts[j][1]) return pts[i][1] < pts[j][1];
+    return i < j;  // stable for exact duplicates
+  });
+  std::vector<size_t> keep;
+  double best_y = std::numeric_limits<double>::infinity();
+  double prev_x = std::numeric_limits<double>::quiet_NaN();
+  double prev_y = std::numeric_limits<double>::quiet_NaN();
+  for (size_t idx : order) {
+    const double x = pts[idx][0];
+    const double y = pts[idx][1];
+    // Keep exact duplicates of a kept point; otherwise require strictly
+    // smaller y than everything to the left.
+    if (!keep.empty() && x == prev_x && y == prev_y) {
+      keep.push_back(idx);
+      continue;
+    }
+    if (y < best_y) {
+      keep.push_back(idx);
+      best_y = y;
+      prev_x = x;
+      prev_y = y;
+    }
+  }
+  std::sort(keep.begin(), keep.end());
+  return keep;
+}
+
+// Generic k-D filter. Pre-sorts by sum of objectives so dominators tend to
+// be visited first, which keeps the non-dominated archive small.
+std::vector<size_t> ParetoKD(const std::vector<ObjectiveVector>& pts) {
+  std::vector<size_t> order(pts.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t i, size_t j) {
+    double si = 0, sj = 0;
+    for (double v : pts[i]) si += v;
+    for (double v : pts[j]) sj += v;
+    if (si != sj) return si < sj;
+    return i < j;
+  });
+  std::vector<size_t> archive;
+  for (size_t idx : order) {
+    bool dominated = false;
+    for (size_t a : archive) {
+      if (Dominates(pts[a], pts[idx])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) archive.push_back(idx);
+  }
+  std::sort(archive.begin(), archive.end());
+  return archive;
+}
+
+}  // namespace
+
+std::vector<size_t> ParetoIndices(const std::vector<ObjectiveVector>& points) {
+  if (points.empty()) return {};
+  if (points[0].size() == 2) return Pareto2D(points);
+  return ParetoKD(points);
+}
+
+std::vector<ObjectiveVector> ParetoFilter(
+    const std::vector<ObjectiveVector>& points) {
+  std::vector<ObjectiveVector> out;
+  for (size_t i : ParetoIndices(points)) out.push_back(points[i]);
+  return out;
+}
+
+double Hypervolume2D(const std::vector<ObjectiveVector>& front,
+                     const ObjectiveVector& ref) {
+  if (front.empty()) return 0.0;
+  // Deduplicate + keep non-dominated, sorted by x ascending.
+  auto nd_idx = ParetoIndices(front);
+  std::vector<ObjectiveVector> nd;
+  for (size_t i : nd_idx) nd.push_back(front[i]);
+  std::sort(nd.begin(), nd.end());
+  nd.erase(std::unique(nd.begin(), nd.end()), nd.end());
+  // Points sorted by x have non-increasing y on a 2D front, so the
+  // dominated region decomposes into disjoint strips
+  // [x_i, ref_x] x [y_i, y_{i-1}], accumulated left to right.
+  double hv = 0.0;
+  double last_y = ref[1];
+  for (const auto& p : nd) {
+    const double x = p[0];
+    const double y = p[1];
+    if (x >= ref[0]) break;
+    const double clipped_y = std::min(y, last_y);
+    if (clipped_y < last_y) {
+      hv += (ref[0] - x) * (last_y - clipped_y);
+      last_y = clipped_y;
+    }
+  }
+  return hv;
+}
+
+namespace {
+
+// Recursive hypervolume by slicing on the last objective (simple exact
+// algorithm, adequate for fronts of tens of points).
+double HvRecursive(std::vector<ObjectiveVector> pts,
+                   const ObjectiveVector& ref) {
+  const size_t k = ref.size();
+  if (pts.empty()) return 0.0;
+  if (k == 2) return Hypervolume2D(pts, ref);
+  // Sort by last objective ascending; sweep slices.
+  std::sort(pts.begin(), pts.end(),
+            [k](const ObjectiveVector& a, const ObjectiveVector& b) {
+              return a[k - 1] < b[k - 1];
+            });
+  double hv = 0.0;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const double z_lo = pts[i][k - 1];
+    if (z_lo >= ref[k - 1]) break;
+    const double z_hi = (i + 1 < pts.size())
+                            ? std::min(pts[i + 1][k - 1], ref[k - 1])
+                            : ref[k - 1];
+    const double depth = z_hi - z_lo;
+    if (depth <= 0) continue;
+    // Project points with z <= z_lo into (k-1) dims.
+    std::vector<ObjectiveVector> proj;
+    ObjectiveVector sub_ref(ref.begin(), ref.end() - 1);
+    for (size_t j = 0; j <= i; ++j) {
+      proj.emplace_back(pts[j].begin(), pts[j].end() - 1);
+    }
+    hv += depth * HvRecursive(std::move(proj), sub_ref);
+  }
+  return hv;
+}
+
+}  // namespace
+
+double Hypervolume(const std::vector<ObjectiveVector>& front,
+                   const ObjectiveVector& ref) {
+  if (front.empty()) return 0.0;
+  if (ref.size() == 2) return Hypervolume2D(front, ref);
+  return HvRecursive(front, ref);
+}
+
+size_t WeightedUtopiaNearest(const std::vector<ObjectiveVector>& front,
+                             const std::vector<double>& weights) {
+  if (front.empty()) return std::numeric_limits<size_t>::max();
+  const size_t k = front[0].size();
+  ObjectiveVector lo(k, std::numeric_limits<double>::infinity());
+  ObjectiveVector hi(k, -std::numeric_limits<double>::infinity());
+  for (const auto& p : front) {
+    for (size_t i = 0; i < k; ++i) {
+      lo[i] = std::min(lo[i], p[i]);
+      hi[i] = std::max(hi[i], p[i]);
+    }
+  }
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t j = 0; j < front.size(); ++j) {
+    double d = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      const double range = hi[i] - lo[i];
+      const double norm = range > 0 ? (front[j][i] - lo[i]) / range : 0.0;
+      const double w = i < weights.size() ? weights[i] : 1.0;
+      d += (w * norm) * (w * norm);
+    }
+    if (d < best_d) {
+      best_d = d;
+      best = j;
+    }
+  }
+  return best;
+}
+
+IndexedFront FilterDominated(IndexedFront front) {
+  auto keep = ParetoIndices(front.points);
+  IndexedFront out;
+  out.points.reserve(keep.size());
+  out.payloads.reserve(keep.size());
+  for (size_t i : keep) {
+    out.points.push_back(std::move(front.points[i]));
+    if (i < front.payloads.size()) out.payloads.push_back(front.payloads[i]);
+  }
+  return out;
+}
+
+IndexedFront MergeFronts(const IndexedFront& a, const IndexedFront& b,
+                         std::vector<std::pair<size_t, size_t>>* combo_out) {
+  IndexedFront combined;
+  std::vector<std::pair<size_t, size_t>> combos;
+  combined.points.reserve(a.size() * b.size());
+  combos.reserve(a.size() * b.size());
+  const size_t k = a.empty() ? 0 : a.points[0].size();
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      ObjectiveVector sum(k);
+      for (size_t d = 0; d < k; ++d) {
+        sum[d] = a.points[i][d] + b.points[j][d];
+      }
+      combined.points.push_back(std::move(sum));
+      combos.emplace_back(a.payloads.empty() ? i : a.payloads[i],
+                          b.payloads.empty() ? j : b.payloads[j]);
+    }
+  }
+  auto keep = ParetoIndices(combined.points);
+  IndexedFront out;
+  std::vector<std::pair<size_t, size_t>> kept_combos;
+  out.points.reserve(keep.size());
+  kept_combos.reserve(keep.size());
+  for (size_t idx : keep) {
+    out.points.push_back(std::move(combined.points[idx]));
+    out.payloads.push_back(out.points.size() - 1);
+    kept_combos.push_back(combos[idx]);
+  }
+  if (combo_out != nullptr) *combo_out = std::move(kept_combos);
+  return out;
+}
+
+}  // namespace sparkopt

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// \file pareto.h
+/// \brief Pareto-set primitives used across the optimizer: dominance
+/// checks, non-dominated filtering (Kung et al. sort-based algorithm for
+/// 2D, generic sweep for k-D), hypervolume, Weighted-Utopia-Nearest (WUN)
+/// recommendation, and the Minkowski-sum merge that underlies HMOOC's
+/// divide-and-conquer DAG aggregation (Algorithm 3 in the paper).
+///
+/// All objectives are minimized. A point with k objectives is a
+/// std::vector<double> of size k.
+
+namespace sparkopt {
+
+/// One point in objective space. Minimization in every component.
+using ObjectiveVector = std::vector<double>;
+
+/// \brief True iff `a` Pareto-dominates `b`: a <= b componentwise and
+/// a < b in at least one component (Definition 3.2 in the paper).
+bool Dominates(const ObjectiveVector& a, const ObjectiveVector& b);
+
+/// \brief Indices of the non-dominated points in `points`.
+///
+/// For 2-objective inputs this runs the classical sort-based Kung
+/// algorithm in O(n log n); for k > 2 it falls back to a pruned pairwise
+/// sweep. Ties: duplicate non-dominated points are all kept (stable order
+/// by original index).
+std::vector<size_t> ParetoIndices(const std::vector<ObjectiveVector>& points);
+
+/// \brief Filters `points` to its Pareto front (convenience wrapper).
+std::vector<ObjectiveVector> ParetoFilter(
+    const std::vector<ObjectiveVector>& points);
+
+/// \brief Exact 2D hypervolume of the region dominated by `front` and
+/// bounded above by `ref` (the reference/nadir point). Points outside the
+/// reference box contribute their clipped part. Returns 0 for an empty
+/// front.
+double Hypervolume2D(const std::vector<ObjectiveVector>& front,
+                     const ObjectiveVector& ref);
+
+/// \brief Hypervolume for k objectives by inclusion-exclusion style
+/// recursive slicing (WFG-like); intended for the small fronts (tens of
+/// points) this project produces. Falls back to Hypervolume2D for k = 2.
+double Hypervolume(const std::vector<ObjectiveVector>& front,
+                   const ObjectiveVector& ref);
+
+/// \brief Weighted-Utopia-Nearest recommendation (Section 3.3.2).
+///
+/// Objectives are min-max normalized over the front; the utopia point is
+/// the componentwise minimum (0 after normalization). Returns the index of
+/// the front point minimizing the weighted Euclidean distance
+/// sqrt(sum_i (w_i * f_i_norm)^2). Returns SIZE_MAX for an empty front.
+size_t WeightedUtopiaNearest(const std::vector<ObjectiveVector>& front,
+                             const std::vector<double>& weights);
+
+/// \brief A Pareto front where each point carries an opaque payload id
+/// (e.g. an index into a configuration table). Used by DAG aggregation.
+struct IndexedFront {
+  std::vector<ObjectiveVector> points;
+  /// payloads[i] identifies the configuration(s) behind points[i]. For
+  /// merged fronts this is an index into a caller-maintained combination
+  /// table.
+  std::vector<size_t> payloads;
+
+  size_t size() const { return points.size(); }
+  bool empty() const { return points.empty(); }
+};
+
+/// \brief Keeps only the non-dominated entries of `front` (points and
+/// payloads filtered consistently).
+IndexedFront FilterDominated(IndexedFront front);
+
+/// \brief Minkowski-sum merge of two fronts (Algorithm 3): enumerates all
+/// |a| x |b| combinations, sums objective vectors, and keeps the Pareto
+/// front. `combo_out`, if non-null, receives one (payload_a, payload_b)
+/// pair per surviving point, aligned with the returned front's points.
+///
+/// By Proposition B.1, Pf(Pf(F) ⊕ Pf(G)) = Pf(F x G), so merging the
+/// children's fronts loses no query-level Pareto solution.
+IndexedFront MergeFronts(const IndexedFront& a, const IndexedFront& b,
+                         std::vector<std::pair<size_t, size_t>>* combo_out);
+
+}  // namespace sparkopt

@@ -1,0 +1,94 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sparkopt {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size()));
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  if (p <= 0.0) return v.front();
+  if (p >= 100.0) return v.back();
+  const double idx = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  const size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double mx = 0.0, my = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double Wmape(const std::vector<double>& y_true,
+             const std::vector<double>& y_pred) {
+  const size_t n = std::min(y_true.size(), y_pred.size());
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    num += std::fabs(y_true[i] - y_pred[i]);
+    den += std::fabs(y_true[i]);
+  }
+  if (den <= 0.0) return 0.0;
+  return num / den;
+}
+
+std::vector<double> AbsolutePercentageErrors(
+    const std::vector<double>& y_true, const std::vector<double>& y_pred,
+    double eps) {
+  const size_t n = std::min(y_true.size(), y_pred.size());
+  std::vector<double> e(n);
+  for (size_t i = 0; i < n; ++i) {
+    e[i] = std::fabs(y_true[i] - y_pred[i]) /
+           std::max(std::fabs(y_true[i]), eps);
+  }
+  return e;
+}
+
+AccuracyReport EvaluateAccuracy(const std::vector<double>& y_true,
+                                const std::vector<double>& y_pred) {
+  AccuracyReport r;
+  r.n = std::min(y_true.size(), y_pred.size());
+  r.wmape = Wmape(y_true, y_pred);
+  auto errs = AbsolutePercentageErrors(y_true, y_pred);
+  r.p50 = Percentile(errs, 50.0);
+  r.p90 = Percentile(errs, 90.0);
+  r.corr = PearsonCorrelation(y_true, y_pred);
+  return r;
+}
+
+}  // namespace sparkopt

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// \file stats.h
+/// \brief Small statistics helpers shared by the modeling, evaluation and
+/// benchmark layers (means, percentiles, Pearson correlation, and the
+/// error metrics reported in the paper's Table 3).
+
+namespace sparkopt {
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& v);
+
+/// Population standard deviation; 0 for fewer than 2 elements.
+double StdDev(const std::vector<double>& v);
+
+/// Linear-interpolated percentile, p in [0, 100]. Sorts a copy.
+double Percentile(std::vector<double> v, double p);
+
+/// Pearson correlation coefficient between x and y; 0 if degenerate.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Weighted mean absolute percentage error:
+///   sum(|y - yhat|) / sum(|y|).
+/// This is the headline accuracy metric in the paper (Table 3).
+double Wmape(const std::vector<double>& y_true,
+             const std::vector<double>& y_pred);
+
+/// Per-sample absolute percentage errors |y - yhat| / max(|y|, eps).
+std::vector<double> AbsolutePercentageErrors(
+    const std::vector<double>& y_true, const std::vector<double>& y_pred,
+    double eps = 1e-9);
+
+/// Summary of the paper's model-accuracy metrics for one target.
+struct AccuracyReport {
+  double wmape = 0.0;   ///< weighted mean absolute percentage error
+  double p50 = 0.0;     ///< median absolute percentage error
+  double p90 = 0.0;     ///< 90th-percentile absolute percentage error
+  double corr = 0.0;    ///< Pearson correlation with the ground truth
+  size_t n = 0;         ///< number of evaluated samples
+};
+
+/// Computes all Table-3 metrics for a prediction vector.
+AccuracyReport EvaluateAccuracy(const std::vector<double>& y_true,
+                                const std::vector<double>& y_pred);
+
+}  // namespace sparkopt

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+/// \file status.h
+/// \brief Lightweight Status / Result<T> error-handling primitives in the
+/// style of Arrow / RocksDB. Library code returns Status or Result<T>
+/// instead of throwing; exceptions are reserved for programming errors.
+
+namespace sparkopt {
+
+/// Error category attached to a non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+/// \brief Outcome of an operation: OK, or an error code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + msg_;
+  }
+
+  static std::string CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+      case StatusCode::kInternal: return "Internal";
+      case StatusCode::kUnimplemented: return "Unimplemented";
+    }
+    return "Unknown";
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Usage:
+/// \code
+///   Result<int> r = Parse(s);
+///   if (!r.ok()) return r.status();
+///   int v = *r;
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : v_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(v_);
+  }
+
+  T& value() & { return std::get<T>(v_); }
+  const T& value() const& { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Propagate a non-OK Status from an expression to the caller.
+#define SPARKOPT_RETURN_NOT_OK(expr)            \
+  do {                                          \
+    ::sparkopt::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace sparkopt

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/simulator.h"
+#include "physical/physical_plan.h"
+
+/// \file aqe.h
+/// \brief Adaptive Query Execution driver (Figure 2 in the paper).
+///
+/// Executes a query wave by wave: after each wave of query stages
+/// completes, the logical plan is "collapsed" (completed subQs now expose
+/// their true cardinalities), the remaining plan is re-optimized by the
+/// parametric rules, and optimizer hooks may adjust theta_p for the
+/// collapsed plan and theta_s for newly ready stages — exactly the two
+/// runtime interception points the paper's OPT plugs into (steps 6/9).
+
+namespace sparkopt {
+
+/// \brief Runtime-optimizer interception points. The default
+/// implementation is a no-op (plain Spark AQE with static parameters).
+class AqeHooks {
+ public:
+  virtual ~AqeHooks() = default;
+
+  /// Called after each wave with the updated completion mask, before the
+  /// remaining plan is re-planned. May rewrite the per-subQ theta_p
+  /// (step 6: collapsed-LQP optimization request).
+  virtual void OnPlanCollapsed(const LogicalPlan& plan,
+                               const std::vector<SubQuery>& subqs,
+                               const std::vector<bool>& completed_subqs,
+                               std::vector<PlanParams>* theta_p) {
+    (void)plan; (void)subqs; (void)completed_subqs; (void)theta_p;
+  }
+
+  /// Called with the stages about to execute. May rewrite the per-subQ
+  /// theta_s (step 9: query-stage optimization request).
+  virtual void OnStagesReady(const PhysicalPlan& plan,
+                             const std::vector<int>& ready_stage_ids,
+                             const std::vector<SubQuery>& subqs,
+                             std::vector<StageParams>* theta_s) {
+    (void)plan; (void)ready_stage_ids; (void)subqs; (void)theta_s;
+  }
+};
+
+/// Outcome of an adaptive execution.
+struct AqeResult {
+  QueryExecution exec;        ///< aggregated over all waves
+  int waves = 0;              ///< number of stage waves
+  int replans = 0;            ///< physical re-planning rounds
+  std::vector<JoinDecision> final_joins;  ///< decisions actually executed
+};
+
+/// \brief Drives adaptive execution of one query.
+class AqeDriver {
+ public:
+  AqeDriver(const LogicalPlan* plan, const Simulator* simulator)
+      : plan_(plan), simulator_(simulator),
+        subqs_(plan->DecomposeSubQueries()) {}
+
+  /// Runs the query to completion. `theta_p`/`theta_s` hold one entry per
+  /// subQ (fine-grained) or a single entry (query-level); hooks may mutate
+  /// them between waves. `adaptive` = false plans once from estimates and
+  /// never re-plans (AQE off).
+  Result<AqeResult> Run(const ContextParams& theta_c,
+                        std::vector<PlanParams> theta_p,
+                        std::vector<StageParams> theta_s,
+                        AqeHooks* hooks, uint64_t seed,
+                        bool adaptive = true) const;
+
+  const std::vector<SubQuery>& subqueries() const { return subqs_; }
+
+ private:
+  const LogicalPlan* plan_;
+  const Simulator* simulator_;
+  std::vector<SubQuery> subqs_;
+};
+
+}  // namespace sparkopt

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/cost_model.h"
+
+/// \file simulator.h
+/// \brief Event-driven execution of a physical plan on the simulated
+/// cluster: tasks from concurrently ready stages share the query's
+/// executor cores (k1 x k3), reproducing the resource-contention effects
+/// that motivate the paper's analytical-latency modeling target.
+
+namespace sparkopt {
+
+/// Execution record of one stage.
+struct StageExecution {
+  int stage_id = -1;
+  int subq_id = -1;
+  int wave = 0;  ///< AQE wave index this stage executed in (0 = first)
+  /// Number of canonical subQs merged into this stage (> 1 when broadcast
+  /// joins collapsed stage boundaries). Stage-level model samples use
+  /// only unmerged stages, whose target matches one subQ exactly.
+  int merged_subqs = 1;
+  double start = 0.0;
+  double end = 0.0;
+  /// Sum of task durations (the numerator of analytical latency).
+  double task_time_sum = 0.0;
+  /// Analytical latency = task_time_sum / total cores (Section 4.2).
+  double analytical_latency = 0.0;
+  double io_bytes = 0.0;
+  int num_tasks = 0;
+  /// gamma features: contention observed when the stage started.
+  double parallel_running_tasks = 0.0;
+  double parallel_waiting_tasks = 0.0;
+  double finished_task_mean_s = 0.0;
+};
+
+/// Execution record of a full query (or of one AQE wave).
+struct QueryExecution {
+  double latency = 0.0;             ///< wall-clock makespan (seconds)
+  double analytical_latency = 0.0;  ///< sum over stages (Section 4.2)
+  double io_bytes = 0.0;
+  double cpu_hours = 0.0;
+  double mem_gb_hours = 0.0;
+  double cost = 0.0;                ///< CloudCost dollars
+  std::vector<StageExecution> stages;
+  int smj = 0, shj = 0, bhj = 0;    ///< join-algorithm census
+};
+
+/// \brief Executes stage DAGs task-by-task over shared cores.
+class Simulator {
+ public:
+  Simulator(const ClusterSpec& cluster, const CostModelParams& cost_params,
+            const PriceBook& prices = PriceBook())
+      : cost_model_(cluster, cost_params), prices_(prices) {}
+
+  /// \brief Runs the subset `stage_ids` of `plan` (all dependencies among
+  /// them respected; stages in the subset with dependencies outside it are
+  /// treated as ready). Returns the makespan record starting at t = 0.
+  ///
+  /// `interleave_seed` shuffles the dispatch order of equally ready tasks,
+  /// modeling the non-deterministic stage interleaving of AQE-off Spark
+  /// (Figure 16); pass the same seed for reproducibility.
+  QueryExecution RunStages(const PhysicalPlan& plan,
+                           const std::vector<int>& stage_ids,
+                           const ContextParams& theta_c, uint64_t noise_seed,
+                           uint64_t interleave_seed = 0) const;
+
+  /// Runs the entire plan. A nonzero `interleave_seed` randomizes the
+  /// dispatch order of concurrently runnable stages (AQE-off behaviour).
+  QueryExecution RunAll(const PhysicalPlan& plan,
+                        const ContextParams& theta_c, uint64_t noise_seed,
+                        uint64_t interleave_seed = 0) const;
+
+  /// Fills cost fields of `exec` given the context and total IO.
+  void FinalizeCost(const ContextParams& theta_c, QueryExecution* exec) const;
+
+  const TaskCostModel& cost_model() const { return cost_model_; }
+  const PriceBook& prices() const { return prices_; }
+
+ private:
+  TaskCostModel cost_model_;
+  PriceBook prices_;
+};
+
+}  // namespace sparkopt

@@ -1,0 +1,218 @@
+#include "model/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sparkopt {
+
+namespace {
+
+double Log1p(double v) { return std::log1p(std::max(v, 0.0)); }
+
+// Signed pseudo-random projection of a 64-bit hash onto `dim` slots.
+void ProjectHash(uint64_t h, int dim, double weight,
+                 std::vector<double>* out, int offset) {
+  for (int i = 0; i < dim; ++i) {
+    const uint64_t bit = Fnv1a(&i, sizeof(i), h);
+    (*out)[offset + i] += (bit & 1 ? 1.0 : -1.0) * weight;
+  }
+}
+
+// Two-round Weisfeiler-Lehman labels of the member operators (children
+// restricted to in-stage edges keep the embedding local to the subQ).
+std::vector<uint64_t> WlLabels(const LogicalPlan& plan,
+                               const std::vector<int>& ops) {
+  std::vector<uint64_t> label(plan.num_ops(), 0);
+  std::vector<bool> member(plan.num_ops(), false);
+  for (int id : ops) member[id] = true;
+  for (int id : ops) {
+    const auto& op = plan.op(id);
+    label[id] = HashCombine(0xAB5715ULL, static_cast<uint64_t>(op.type));
+  }
+  for (int round = 0; round < 2; ++round) {
+    std::vector<uint64_t> next = label;
+    for (int id : ops) {
+      uint64_t h = HashCombine(label[id], 0x9127);
+      for (int c : plan.op(id).children) {
+        if (c < static_cast<int>(member.size()) && member[c]) {
+          h = HashCombine(h, label[c]);
+        } else {
+          h = HashCombine(h, 0xED6EULL);  // external-edge marker
+        }
+      }
+      next[id] = h;
+    }
+    label = std::move(next);
+  }
+  return label;
+}
+
+}  // namespace
+
+std::vector<double> PartitionDistributionStats(
+    const std::vector<double>& partition_bytes) {
+  std::vector<double> out(FeatureLayout::kBeta, 0.0);
+  if (partition_bytes.empty()) return out;
+  double sum = 0.0, mx = 0.0, mn = 1e300;
+  for (double b : partition_bytes) {
+    sum += b;
+    mx = std::max(mx, b);
+    mn = std::min(mn, b);
+  }
+  const double mu = sum / static_cast<double>(partition_bytes.size());
+  if (mu <= 0.0) return out;
+  double var = 0.0;
+  for (double b : partition_bytes) var += (b - mu) * (b - mu);
+  const double sigma =
+      std::sqrt(var / static_cast<double>(partition_bytes.size()));
+  out[0] = sigma / mu;          // std-to-average ratio
+  out[1] = (mx - mu) / mu;      // skewness ratio
+  out[2] = (mx - mn) / mu;      // range-to-average ratio
+  return out;
+}
+
+std::vector<double> ContentionStats(const StageExecution& se) {
+  return {Log1p(se.parallel_running_tasks), Log1p(se.parallel_waiting_tasks),
+          Log1p(se.finished_task_mean_s)};
+}
+
+std::vector<double> StageFeatures(
+    const LogicalPlan& plan, const QueryStage& stage,
+    const std::vector<double>& conf, bool use_true_cards,
+    const std::vector<double>& beta, const std::vector<double>& gamma,
+    bool drop_theta_p) {
+  std::vector<double> f(FeatureLayout::Total(), 0.0);
+  int off = 0;
+
+  // ---- operator type histogram ----
+  for (int id : stage.op_ids) {
+    const int t = static_cast<int>(plan.op(id).type);
+    if (t < FeatureLayout::kOpHistogram) f[off + t] += 1.0;
+  }
+  off += FeatureLayout::kOpHistogram;
+
+  // ---- WL graph embedding (GTN stand-in) ----
+  const auto labels = WlLabels(plan, stage.op_ids);
+  const double inv =
+      1.0 / std::max<size_t>(stage.op_ids.size(), 1);
+  for (int id : stage.op_ids) {
+    ProjectHash(labels[id], FeatureLayout::kWlEmbedding, inv, &f, off);
+  }
+  off += FeatureLayout::kWlEmbedding;
+
+  // ---- hashed predicate tokens (word-embedding stand-in) ----
+  int n_tokens = 0;
+  for (int id : stage.op_ids) {
+    n_tokens += static_cast<int>(plan.op(id).predicate_tokens.size());
+  }
+  const double tok_w = 1.0 / std::max(n_tokens, 1);
+  for (int id : stage.op_ids) {
+    for (const auto& tok : plan.op(id).predicate_tokens) {
+      ProjectHash(Fnv1a(tok.data(), tok.size()),
+                  FeatureLayout::kPredicateHash, tok_w, &f, off);
+    }
+  }
+  off += FeatureLayout::kPredicateHash;
+
+  // ---- cardinality block ----
+  double in_rows = stage.input_rows, in_bytes = stage.input_bytes;
+  double out_rows = stage.output_rows, out_bytes = stage.output_bytes;
+  if (!use_true_cards) {
+    // The caller built `stage` with the matching cardinality source, so
+    // the fields are already estimate-based; nothing to redo here.
+  }
+  f[off + 0] = Log1p(in_rows);
+  f[off + 1] = Log1p(in_bytes);
+  f[off + 2] = Log1p(out_rows);
+  f[off + 3] = Log1p(out_bytes);
+  f[off + 4] = Log1p(stage.shuffle_read_bytes);
+  f[off + 5] = Log1p(stage.broadcast_bytes);
+  f[off + 6] = Log1p(stage.cpu_work);
+  f[off + 7] = Log1p(stage.sort_work);
+  off += FeatureLayout::kCardinality;
+
+  // ---- alpha: input characteristics from leaf operators ----
+  double leaf_rows = 0.0, leaf_bytes = 0.0;
+  for (int id : stage.op_ids) {
+    const auto& op = plan.op(id);
+    if (op.type == OpType::kScan) {
+      leaf_rows += use_true_cards ? op.true_rows : op.est_rows;
+      leaf_bytes += use_true_cards ? op.true_bytes : op.est_bytes;
+    }
+  }
+  f[off + 0] = Log1p(leaf_rows);
+  f[off + 1] = Log1p(leaf_bytes);
+  off += FeatureLayout::kAlpha;
+
+  // ---- beta: partition distribution (0 = uniform assumption) ----
+  for (int i = 0; i < FeatureLayout::kBeta; ++i) {
+    f[off + i] = i < static_cast<int>(beta.size()) ? beta[i] : 0.0;
+  }
+  off += FeatureLayout::kBeta;
+
+  // ---- gamma: contention (0 = no-contention assumption) ----
+  for (int i = 0; i < FeatureLayout::kGamma; ++i) {
+    f[off + i] = i < static_cast<int>(gamma.size()) ? gamma[i] : 0.0;
+  }
+  off += FeatureLayout::kGamma;
+
+  // ---- theta: normalized decision variables ----
+  const auto& space = SparkParamSpace();
+  auto unit = space.Normalize(conf);
+  if (drop_theta_p) {
+    for (size_t i : space.CategoryIndices(ParamCategory::kPlan)) {
+      unit[i] = 0.0;
+    }
+  }
+  for (int i = 0; i < FeatureLayout::kTheta; ++i) {
+    f[off + i] = i < static_cast<int>(unit.size()) ? unit[i] : 0.0;
+  }
+  off += FeatureLayout::kTheta;
+
+  // ---- stage metadata ----
+  f[off + 0] = stage.is_scan_stage ? 1.0 : 0.0;
+  f[off + 1] = stage.has_join ? 1.0 : 0.0;
+  f[off + 2] = stage.has_join &&
+                       stage.join_algo == JoinAlgo::kSortMergeJoin
+                   ? 1.0 : 0.0;
+  f[off + 3] = stage.has_join &&
+                       stage.join_algo == JoinAlgo::kShuffledHashJoin
+                   ? 1.0 : 0.0;
+  f[off + 4] = stage.has_join &&
+                       stage.join_algo == JoinAlgo::kBroadcastHashJoin
+                   ? 1.0 : 0.0;
+  f[off + 5] = Log1p(stage.num_partitions);
+  f[off + 6] = stage.exchanges_output ? 1.0 : 0.0;
+  f[off + 7] = Log1p(static_cast<double>(stage.op_ids.size()));
+  off += FeatureLayout::kStageMeta;
+
+  // ---- derived interaction terms ----
+  const ContextParams tc = DecodeContext(conf);
+  const double cores = std::max(1, tc.TotalCores());
+  f[off + 0] = Log1p(cores);
+  f[off + 1] = Log1p(tc.MemoryPerTaskMb());
+  f[off + 2] = Log1p(stage.num_partitions / cores);
+  f[off + 3] = Log1p(stage.input_bytes / (1024.0 * 1024.0) / cores);
+  return f;
+}
+
+std::vector<double> CollapsedPlanFeatures(
+    const LogicalPlan& plan, const std::vector<QueryStage>& remaining_stages,
+    const std::vector<double>& conf, const std::vector<double>& gamma) {
+  std::vector<double> pooled(FeatureLayout::Total() + 1, 0.0);
+  if (remaining_stages.empty()) return pooled;
+  for (const auto& st : remaining_stages) {
+    const auto beta = PartitionDistributionStats(st.partition_bytes);
+    const auto f = StageFeatures(plan, st, conf, /*use_true_cards=*/true,
+                                 beta, gamma, /*drop_theta_p=*/false);
+    for (size_t i = 0; i < f.size(); ++i) pooled[i] += f[i];
+  }
+  const double inv = 1.0 / static_cast<double>(remaining_stages.size());
+  for (size_t i = 0; i + 1 < pooled.size(); ++i) pooled[i] *= inv;
+  pooled.back() = static_cast<double>(remaining_stages.size());
+  return pooled;
+}
+
+}  // namespace sparkopt

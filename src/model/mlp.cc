@@ -1,0 +1,299 @@
+#include "model/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sparkopt {
+
+void Standardizer::Fit(const Matrix& x) {
+  if (x.empty()) return;
+  const size_t d = x[0].size();
+  mean.assign(d, 0.0);
+  stddev.assign(d, 0.0);
+  for (const auto& row : x) {
+    for (size_t j = 0; j < d; ++j) mean[j] += row[j];
+  }
+  for (size_t j = 0; j < d; ++j) mean[j] /= static_cast<double>(x.size());
+  for (const auto& row : x) {
+    for (size_t j = 0; j < d; ++j) {
+      const double dv = row[j] - mean[j];
+      stddev[j] += dv * dv;
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    stddev[j] = std::sqrt(stddev[j] / static_cast<double>(x.size()));
+    if (stddev[j] < 1e-9) stddev[j] = 1.0;
+  }
+}
+
+std::vector<double> Standardizer::Transform(
+    const std::vector<double>& x) const {
+  std::vector<double> out = x;
+  TransformInPlace(&out);
+  return out;
+}
+
+void Standardizer::TransformInPlace(std::vector<double>* x) const {
+  const size_t d = std::min(x->size(), mean.size());
+  for (size_t j = 0; j < d; ++j) {
+    // Clamp extreme z-scores: rare outlier features (heavy skew ratios,
+    // contention spikes) otherwise push the ReLU net far outside its
+    // training envelope and destabilize log-space predictions.
+    (*x)[j] = std::clamp(((*x)[j] - mean[j]) / stddev[j], -10.0, 10.0);
+  }
+}
+
+Mlp::Mlp(std::vector<int> layers, uint64_t seed) : layers_(std::move(layers)) {
+  Rng rng(seed);
+  net_.resize(layers_.size() - 1);
+  for (size_t l = 0; l + 1 < layers_.size(); ++l) {
+    auto& layer = net_[l];
+    layer.in = layers_[l];
+    layer.out = layers_[l + 1];
+    layer.w.resize(static_cast<size_t>(layer.in) * layer.out);
+    layer.b.assign(layer.out, 0.0);
+    // He initialization for ReLU nets.
+    const double scale = std::sqrt(2.0 / layer.in);
+    for (auto& w : layer.w) w = rng.Normal(0.0, scale);
+  }
+}
+
+void Mlp::Forward(const std::vector<double>& x,
+                  std::vector<std::vector<double>>* activations) const {
+  activations->clear();
+  activations->push_back(x);
+  for (size_t l = 0; l < net_.size(); ++l) {
+    const auto& layer = net_[l];
+    const auto& in = activations->back();
+    std::vector<double> out(layer.out);
+    for (int o = 0; o < layer.out; ++o) {
+      double s = layer.b[o];
+      const double* wrow = &layer.w[static_cast<size_t>(o) * layer.in];
+      for (int i = 0; i < layer.in; ++i) s += wrow[i] * in[i];
+      // ReLU on hidden layers only.
+      out[o] = (l + 1 < net_.size()) ? std::max(s, 0.0) : s;
+    }
+    activations->push_back(std::move(out));
+  }
+}
+
+std::vector<double> Mlp::Predict(const std::vector<double>& x) const {
+  std::vector<std::vector<double>> acts;
+  Forward(x, &acts);
+  return acts.back();
+}
+
+Matrix Mlp::PredictBatch(const Matrix& x) const {
+  Matrix out;
+  out.reserve(x.size());
+  std::vector<std::vector<double>> acts;
+  for (const auto& row : x) {
+    Forward(row, &acts);
+    out.push_back(acts.back());
+  }
+  return out;
+}
+
+double Mlp::Mse(const Matrix& x, const Matrix& y) const {
+  if (x.empty()) return 0.0;
+  double total = 0.0;
+  std::vector<std::vector<double>> acts;
+  for (size_t i = 0; i < x.size(); ++i) {
+    Forward(x[i], &acts);
+    const auto& pred = acts.back();
+    for (size_t j = 0; j < pred.size(); ++j) {
+      const double d = pred[j] - y[i][j];
+      total += d * d;
+    }
+  }
+  return total / (static_cast<double>(x.size()) * layers_.back());
+}
+
+Status Mlp::Fit(const Matrix& x, const Matrix& y, const TrainOptions& opts) {
+  if (x.size() != y.size() || x.empty()) {
+    return Status::InvalidArgument("Fit: x/y size mismatch or empty");
+  }
+  if (static_cast<int>(x[0].size()) != layers_.front() ||
+      static_cast<int>(y[0].size()) != layers_.back()) {
+    return Status::InvalidArgument("Fit: dimension mismatch with network");
+  }
+  Rng rng(opts.seed);
+
+  // Train/validation split.
+  std::vector<int> order = rng.Permutation(static_cast<int>(x.size()));
+  const size_t n_val = std::min(
+      x.size() - 1,
+      static_cast<size_t>(opts.validation_fraction * x.size()));
+  std::vector<int> val_idx(order.begin(), order.begin() + n_val);
+  std::vector<int> train_idx(order.begin() + n_val, order.end());
+
+  // Adam state.
+  struct AdamState {
+    std::vector<double> mw, vw, mb, vb;
+  };
+  std::vector<AdamState> adam(net_.size());
+  for (size_t l = 0; l < net_.size(); ++l) {
+    adam[l].mw.assign(net_[l].w.size(), 0.0);
+    adam[l].vw.assign(net_[l].w.size(), 0.0);
+    adam[l].mb.assign(net_[l].b.size(), 0.0);
+    adam[l].vb.assign(net_[l].b.size(), 0.0);
+  }
+  const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  int64_t step = 0;
+
+  std::vector<Layer> best = net_;
+  double best_val = 1e300;
+  int bad_epochs = 0;
+
+  std::vector<std::vector<double>> acts;
+  // Per-layer gradient buffers.
+  std::vector<std::vector<double>> gw(net_.size()), gb(net_.size());
+  for (size_t l = 0; l < net_.size(); ++l) {
+    gw[l].assign(net_[l].w.size(), 0.0);
+    gb[l].assign(net_[l].b.size(), 0.0);
+  }
+
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    rng.Shuffle(&train_idx);
+    for (size_t start = 0; start < train_idx.size();
+         start += opts.batch_size) {
+      const size_t end =
+          std::min(start + opts.batch_size, train_idx.size());
+      for (auto& g : gw) std::fill(g.begin(), g.end(), 0.0);
+      for (auto& g : gb) std::fill(g.begin(), g.end(), 0.0);
+      for (size_t s = start; s < end; ++s) {
+        const int i = train_idx[s];
+        Forward(x[i], &acts);
+        // Backprop: delta at output = 2 (pred - y) / k.
+        std::vector<double> delta(net_.back().out);
+        for (int o = 0; o < net_.back().out; ++o) {
+          delta[o] = 2.0 * (acts.back()[o] - y[i][o]) / net_.back().out;
+        }
+        for (int l = static_cast<int>(net_.size()) - 1; l >= 0; --l) {
+          const auto& layer = net_[l];
+          const auto& input = acts[l];
+          for (int o = 0; o < layer.out; ++o) {
+            gb[l][o] += delta[o];
+            double* gwrow = &gw[l][static_cast<size_t>(o) * layer.in];
+            for (int ii = 0; ii < layer.in; ++ii) {
+              gwrow[ii] += delta[o] * input[ii];
+            }
+          }
+          if (l > 0) {
+            std::vector<double> prev(layer.in, 0.0);
+            for (int o = 0; o < layer.out; ++o) {
+              const double* wrow =
+                  &layer.w[static_cast<size_t>(o) * layer.in];
+              for (int ii = 0; ii < layer.in; ++ii) {
+                prev[ii] += wrow[ii] * delta[o];
+              }
+            }
+            // ReLU derivative of the hidden activation.
+            for (int ii = 0; ii < layer.in; ++ii) {
+              if (acts[l][ii] <= 0.0) prev[ii] = 0.0;
+            }
+            delta = std::move(prev);
+          }
+        }
+      }
+      // Adam update with the batch-mean gradient.
+      ++step;
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      const double bc1 = 1.0 - std::pow(beta1, static_cast<double>(step));
+      const double bc2 = 1.0 - std::pow(beta2, static_cast<double>(step));
+      for (size_t l = 0; l < net_.size(); ++l) {
+        auto& layer = net_[l];
+        for (size_t j = 0; j < layer.w.size(); ++j) {
+          const double g =
+              gw[l][j] * inv_batch + opts.weight_decay * layer.w[j];
+          adam[l].mw[j] = beta1 * adam[l].mw[j] + (1 - beta1) * g;
+          adam[l].vw[j] = beta2 * adam[l].vw[j] + (1 - beta2) * g * g;
+          layer.w[j] -= opts.learning_rate * (adam[l].mw[j] / bc1) /
+                        (std::sqrt(adam[l].vw[j] / bc2) + eps);
+        }
+        for (size_t j = 0; j < layer.b.size(); ++j) {
+          const double g = gb[l][j] * inv_batch;
+          adam[l].mb[j] = beta1 * adam[l].mb[j] + (1 - beta1) * g;
+          adam[l].vb[j] = beta2 * adam[l].vb[j] + (1 - beta2) * g * g;
+          layer.b[j] -= opts.learning_rate * (adam[l].mb[j] / bc1) /
+                        (std::sqrt(adam[l].vb[j] / bc2) + eps);
+        }
+      }
+    }
+    // Early stopping on the validation split.
+    if (!val_idx.empty()) {
+      Matrix xv, yv;
+      xv.reserve(val_idx.size());
+      yv.reserve(val_idx.size());
+      for (int i : val_idx) {
+        xv.push_back(x[i]);
+        yv.push_back(y[i]);
+      }
+      const double val = Mse(xv, yv);
+      if (val < best_val - 1e-12) {
+        best_val = val;
+        best = net_;
+        bad_epochs = 0;
+      } else if (++bad_epochs > opts.patience) {
+        break;
+      }
+    }
+  }
+  if (best_val < 1e300) net_ = best;
+  return Status::OK();
+}
+
+Regressor::Regressor(int input_dim, int output_dim, std::vector<int> hidden,
+                     uint64_t seed)
+    : mlp_([&] {
+        std::vector<int> layers;
+        layers.push_back(input_dim);
+        for (int h : hidden) layers.push_back(h);
+        layers.push_back(output_dim);
+        return layers;
+      }(), seed) {}
+
+namespace {
+// Floored-log target transform: log(y + eps) makes the MSE a relative
+// error across the full dynamic range (log1p under-resolves sub-second
+// targets). eps = 1 ms in the latency unit.
+constexpr double kTargetEps = 1e-3;
+// Bound on log-space predictions (exp(28) ~ 1.4e12): keeps a diverging
+// sample from producing astronomically wrong raw-space values.
+constexpr double kMaxLogPred = 28.0;
+}  // namespace
+
+Status Regressor::Fit(const Matrix& x, const Matrix& y_raw,
+                      const Mlp::TrainOptions& opts) {
+  stdizer_.Fit(x);
+  Matrix xs = x;
+  for (auto& row : xs) stdizer_.TransformInPlace(&row);
+  Matrix ys = y_raw;
+  for (auto& row : ys) {
+    for (auto& v : row) v = std::log(std::max(v, 0.0) + kTargetEps);
+  }
+  SPARKOPT_RETURN_NOT_OK(mlp_.Fit(xs, ys, opts));
+  trained_ = true;
+  return Status::OK();
+}
+
+std::vector<double> Regressor::Predict(const std::vector<double>& x) const {
+  auto xs = stdizer_.Transform(x);
+  auto p = mlp_.Predict(xs);
+  for (auto& v : p) {
+    v = std::exp(std::min(v, kMaxLogPred)) - kTargetEps;
+    v = std::max(v, 0.0);
+  }
+  return p;
+}
+
+Matrix Regressor::PredictBatch(const Matrix& x) const {
+  Matrix out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(Predict(row));
+  return out;
+}
+
+}  // namespace sparkopt

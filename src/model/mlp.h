@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file mlp.h
+/// \brief A small from-scratch multilayer perceptron with Adam, used as
+/// the regressor on top of the plan embedding (the paper's GTN+regressor
+/// stack, Section 4.3). Designed for the inference-throughput regime the
+/// paper reports (10^4-10^5 predictions/second), which the MOO solving
+/// times depend on.
+
+namespace sparkopt {
+
+/// Row-major dense matrix as nested vectors (sizes are small; clarity over
+/// peak throughput, with a batched forward pass for the hot path).
+using Matrix = std::vector<std::vector<double>>;
+
+/// \brief Per-feature standardization fitted on training data.
+struct Standardizer {
+  std::vector<double> mean;
+  std::vector<double> stddev;
+
+  void Fit(const Matrix& x);
+  std::vector<double> Transform(const std::vector<double>& x) const;
+  void TransformInPlace(std::vector<double>* x) const;
+};
+
+/// \brief Fully connected network with ReLU hidden activations and a
+/// linear output layer, trained with Adam on mean squared error.
+class Mlp {
+ public:
+  /// `layers` = {input_dim, hidden..., output_dim}.
+  Mlp(std::vector<int> layers, uint64_t seed);
+
+  struct TrainOptions {
+    int epochs = 80;
+    int batch_size = 64;
+    double learning_rate = 1.5e-3;
+    double weight_decay = 1e-6;
+    /// Early stop when validation loss fails to improve this many epochs.
+    int patience = 12;
+    double validation_fraction = 0.1;
+    uint64_t seed = 7;
+  };
+
+  /// Trains on (x, y); both row counts must match. Inputs should already
+  /// be standardized; targets are fit in the caller's space.
+  Status Fit(const Matrix& x, const Matrix& y, const TrainOptions& opts);
+
+  /// Single-sample inference.
+  std::vector<double> Predict(const std::vector<double>& x) const;
+  /// Batched inference (hot path of the MOO solvers).
+  Matrix PredictBatch(const Matrix& x) const;
+
+  /// Mean squared error over a dataset.
+  double Mse(const Matrix& x, const Matrix& y) const;
+
+  int input_dim() const { return layers_.front(); }
+  int output_dim() const { return layers_.back(); }
+
+ private:
+  struct Layer {
+    std::vector<double> w;  ///< out x in, row-major
+    std::vector<double> b;  ///< out
+    int in = 0, out = 0;
+  };
+
+  void Forward(const std::vector<double>& x,
+               std::vector<std::vector<double>>* activations) const;
+
+  std::vector<int> layers_;
+  std::vector<Layer> net_;
+};
+
+/// \brief Convenience wrapper bundling input standardization, log1p
+/// target transform, and the MLP. This is the shape all three model
+/// targets (subQ, QS, collapsed-LQP) share.
+class Regressor {
+ public:
+  Regressor() = default;
+  Regressor(int input_dim, int output_dim, std::vector<int> hidden,
+            uint64_t seed);
+
+  /// Fits the standardizer and trains on log1p-transformed targets.
+  Status Fit(const Matrix& x, const Matrix& y_raw,
+             const Mlp::TrainOptions& opts);
+
+  /// Predicts raw-space targets (inverse log1p, clamped at >= 0).
+  std::vector<double> Predict(const std::vector<double>& x) const;
+  Matrix PredictBatch(const Matrix& x) const;
+
+  bool trained() const { return trained_; }
+
+ private:
+  Standardizer stdizer_;
+  Mlp mlp_{{1, 1}, 0};
+  bool trained_ = false;
+};
+
+}  // namespace sparkopt

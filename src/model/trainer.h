@@ -1,0 +1,97 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/stats.h"
+#include "exec/aqe.h"
+#include "model/features.h"
+#include "model/mlp.h"
+#include "workload/builder.h"
+
+/// \file trainer.h
+/// \brief Trace collection and training for the three model targets
+/// (subQ at compile time, QS and collapsed-LQP at runtime), reproducing
+/// the paper's data pipeline: parametric query variants from the
+/// benchmark templates, one LHS-sampled configuration per run, traces
+/// split 8:1:1 (Section 6, "Workloads").
+
+namespace sparkopt {
+
+/// A supervised dataset: rows of features and raw-space targets
+/// {analytical latency (s), IO (MB)}.
+struct ModelDataset {
+  Matrix x;
+  Matrix y;
+
+  size_t size() const { return x.size(); }
+  void Append(std::vector<double> features, std::vector<double> targets) {
+    x.push_back(std::move(features));
+    y.push_back(std::move(targets));
+  }
+};
+
+/// 8:1:1 split (train/validation/test) with a deterministic shuffle.
+struct DatasetSplit {
+  ModelDataset train, validation, test;
+};
+DatasetSplit SplitDataset(const ModelDataset& ds, uint64_t seed);
+
+/// Knobs of trace collection.
+struct TraceOptions {
+  int runs = 400;          ///< (query-variant, configuration) pairs
+  uint64_t seed = 42;
+  bool use_variants = true;  ///< perturb templates (training diversity)
+};
+
+/// \brief Runs the simulator over sampled (variant, configuration) pairs
+/// and emits training samples for all three targets.
+class TraceCollector {
+ public:
+  TraceCollector(const ClusterSpec& cluster, const CostModelParams& cost,
+                 const PriceBook& prices = PriceBook())
+      : cluster_(cluster), cost_(cost), prices_(prices) {}
+
+  /// `make_query(qid, variant)` builds a query (TPC-H or TPC-DS factory);
+  /// `num_templates` is 22 or 102.
+  Status Collect(
+      const std::function<Result<Query>(int, uint64_t)>& make_query,
+      int num_templates, const TraceOptions& opts, ModelDataset* subq_ds,
+      ModelDataset* qs_ds, ModelDataset* lqp_ds);
+
+ private:
+  ClusterSpec cluster_;
+  CostModelParams cost_;
+  PriceBook prices_;
+};
+
+/// Table-3 row: accuracy of one model target plus inference throughput.
+struct ModelPerformance {
+  AccuracyReport latency;
+  AccuracyReport io;
+  double throughput_per_sec = 0.0;
+};
+
+/// \brief The three trained models of Section 4 plus evaluation helpers.
+class ModelSuite {
+ public:
+  ModelSuite() = default;
+
+  /// Trains all three targets from their datasets.
+  Status Train(const ModelDataset& subq, const ModelDataset& qs,
+               const ModelDataset& lqp, uint64_t seed,
+               const Mlp::TrainOptions& opts = {});
+
+  /// Evaluates a target ("subQ", "QS", "LQP") on a held-out set.
+  ModelPerformance Evaluate(const Regressor& model,
+                            const ModelDataset& test) const;
+
+  const Regressor& subq_model() const { return subq_; }
+  const Regressor& qs_model() const { return qs_; }
+  const Regressor& lqp_model() const { return lqp_; }
+
+ private:
+  Regressor subq_, qs_, lqp_;
+};
+
+}  // namespace sparkopt

@@ -1,0 +1,387 @@
+#include "moo/hmooc.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/rng.h"
+#include "moo/kmeans.h"
+#include "params/sampler.h"
+
+namespace sparkopt {
+
+const char* DagAggregationName(DagAggregation a) {
+  switch (a) {
+    case DagAggregation::kDivideAndConquer: return "HMOOC1";
+    case DagAggregation::kWeightedSum: return "HMOOC2";
+    case DagAggregation::kBoundary: return "HMOOC3";
+  }
+  return "?";
+}
+
+namespace {
+
+// One subQ-level solution in a candidate's effective set.
+struct SubQEntry {
+  int pool_idx = -1;
+  ObjectiveVector f;
+};
+// eff[c][i] = effective set of subQ i under theta_c candidate c.
+using EffectiveSet = std::vector<std::vector<std::vector<SubQEntry>>>;
+
+std::vector<double> MakeConf(const std::vector<double>& theta_c,
+                             const std::vector<double>& theta_ps) {
+  std::vector<double> conf = DefaultSparkConfig();
+  for (size_t i = 0; i < theta_c.size() && i < 8; ++i) conf[i] = theta_c[i];
+  for (size_t i = 0; i < theta_ps.size() && i < 11; ++i) {
+    conf[8 + i] = theta_ps[i];
+  }
+  return conf;
+}
+
+// Query-level point assembled from one entry per subQ.
+struct AggregatedPoint {
+  ObjectiveVector f;
+  int candidate = -1;
+  std::vector<int> pool_choice;  ///< per subQ: pool index
+};
+
+// ---- HMOOC3: boundary / extreme-point approximation --------------------
+void AggregateBoundary(const EffectiveSet& eff, int candidate,
+                       std::vector<AggregatedPoint>* out) {
+  const auto& subq_sets = eff[candidate];
+  const int m = static_cast<int>(subq_sets.size());
+  const int k = 2;
+  for (int obj = 0; obj < k; ++obj) {
+    AggregatedPoint pt;
+    pt.candidate = candidate;
+    pt.f.assign(k, 0.0);
+    pt.pool_choice.resize(m);
+    for (int i = 0; i < m; ++i) {
+      if (subq_sets[i].empty()) return;
+      size_t best = 0;
+      for (size_t j = 1; j < subq_sets[i].size(); ++j) {
+        if (subq_sets[i][j].f[obj] < subq_sets[i][best].f[obj]) best = j;
+      }
+      for (int d = 0; d < k; ++d) pt.f[d] += subq_sets[i][best].f[d];
+      pt.pool_choice[i] = subq_sets[i][best].pool_idx;
+    }
+    out->push_back(std::move(pt));
+  }
+}
+
+// ---- HMOOC2: weighted-sum approximation (Algorithm 4) -------------------
+void AggregateWeightedSum(const EffectiveSet& eff, int candidate,
+                          int ws_pairs, bool normalize,
+                          std::vector<AggregatedPoint>* out) {
+  const auto& subq_sets = eff[candidate];
+  const int m = static_cast<int>(subq_sets.size());
+  // Per-subQ min-max normalization (normalize_per_subQ in Algorithm 4).
+  // With `normalize` off the raw weighted sum is used, which makes every
+  // returned point exactly query-level Pareto optimal (Lemma 1).
+  std::vector<ObjectiveVector> lo(m, {0.0, 0.0});
+  std::vector<ObjectiveVector> hi(m, {1.0, 1.0});
+  if (normalize) {
+    lo.assign(m, {1e300, 1e300});
+    hi.assign(m, {-1e300, -1e300});
+    for (int i = 0; i < m; ++i) {
+      if (subq_sets[i].empty()) return;
+      for (const auto& e : subq_sets[i]) {
+        for (int d = 0; d < 2; ++d) {
+          lo[i][d] = std::min(lo[i][d], e.f[d]);
+          hi[i][d] = std::max(hi[i][d], e.f[d]);
+        }
+      }
+    }
+  } else {
+    for (int i = 0; i < m; ++i) {
+      if (subq_sets[i].empty()) return;
+    }
+  }
+  for (int w = 0; w < ws_pairs; ++w) {
+    const double wl =
+        ws_pairs == 1 ? 0.5 : static_cast<double>(w) / (ws_pairs - 1);
+    const double wc = 1.0 - wl;
+    AggregatedPoint pt;
+    pt.candidate = candidate;
+    pt.f.assign(2, 0.0);
+    pt.pool_choice.resize(m);
+    for (int i = 0; i < m; ++i) {
+      double best_v = std::numeric_limits<double>::infinity();
+      size_t best = 0;
+      for (size_t j = 0; j < subq_sets[i].size(); ++j) {
+        const auto& f = subq_sets[i][j].f;
+        const double n0 =
+            hi[i][0] > lo[i][0] ? (f[0] - lo[i][0]) / (hi[i][0] - lo[i][0])
+                                : 0.0;
+        const double n1 =
+            hi[i][1] > lo[i][1] ? (f[1] - lo[i][1]) / (hi[i][1] - lo[i][1])
+                                : 0.0;
+        const double v = wl * n0 + wc * n1;
+        if (v < best_v) {
+          best_v = v;
+          best = j;
+        }
+      }
+      pt.f[0] += subq_sets[i][best].f[0];
+      pt.f[1] += subq_sets[i][best].f[1];
+      pt.pool_choice[i] = subq_sets[i][best].pool_idx;
+    }
+    out->push_back(std::move(pt));
+  }
+}
+
+// ---- HMOOC1: exact divide-and-conquer (Algorithms 2 & 3) ----------------
+struct DcNode {
+  std::vector<ObjectiveVector> f;
+  std::vector<std::vector<int>> choice;  ///< per point: pool idx per subQ
+};
+
+// Thins a front to at most `cap` points, keeping the extremes and evenly
+// spaced interior points along the f0-sorted order. Exact divide-and-
+// conquer merging can otherwise grow multiplicatively with the number of
+// subQs (the "total complexity could be high" caveat in Appendix B.2).
+void ThinFront(DcNode* node, size_t cap) {
+  if (node->f.size() <= cap || cap < 2) return;
+  std::vector<size_t> order(node->f.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return node->f[x][0] < node->f[y][0];
+  });
+  DcNode thinned;
+  thinned.f.reserve(cap);
+  thinned.choice.reserve(cap);
+  for (size_t i = 0; i < cap; ++i) {
+    const size_t pos = i * (order.size() - 1) / (cap - 1);
+    thinned.f.push_back(std::move(node->f[order[pos]]));
+    thinned.choice.push_back(std::move(node->choice[order[pos]]));
+  }
+  *node = std::move(thinned);
+}
+
+DcNode MergeDc(const DcNode& a, const DcNode& b) {
+  DcNode merged;
+  merged.f.reserve(a.f.size() * b.f.size());
+  merged.choice.reserve(a.f.size() * b.f.size());
+  for (size_t i = 0; i < a.f.size(); ++i) {
+    for (size_t j = 0; j < b.f.size(); ++j) {
+      merged.f.push_back({a.f[i][0] + b.f[j][0], a.f[i][1] + b.f[j][1]});
+      std::vector<int> ch = a.choice[i];
+      ch.insert(ch.end(), b.choice[j].begin(), b.choice[j].end());
+      merged.choice.push_back(std::move(ch));
+    }
+  }
+  const auto keep = ParetoIndices(merged.f);
+  DcNode out;
+  out.f.reserve(keep.size());
+  out.choice.reserve(keep.size());
+  for (size_t idx : keep) {
+    out.f.push_back(std::move(merged.f[idx]));
+    out.choice.push_back(std::move(merged.choice[idx]));
+  }
+  return out;
+}
+
+DcNode DivideAndConquer(const std::vector<std::vector<SubQEntry>>& sets,
+                        int lo, int hi, size_t cap) {
+  if (lo == hi) {
+    DcNode node;
+    // Only the subQ-level Pareto entries can contribute (Prop. 5.1);
+    // entries were already filtered, so take them all.
+    for (const auto& e : sets[lo]) {
+      node.f.push_back(e.f);
+      node.choice.push_back({e.pool_idx});
+    }
+    return node;
+  }
+  const int mid = (lo + hi) / 2;
+  DcNode merged = MergeDc(DivideAndConquer(sets, lo, mid, cap),
+                          DivideAndConquer(sets, mid + 1, hi, cap));
+  ThinFront(&merged, cap);
+  return merged;
+}
+
+void AggregateDivideAndConquer(const EffectiveSet& eff, int candidate,
+                               std::vector<AggregatedPoint>* out) {
+  const auto& subq_sets = eff[candidate];
+  const int m = static_cast<int>(subq_sets.size());
+  for (const auto& s : subq_sets) {
+    if (s.empty()) return;
+  }
+  DcNode front = DivideAndConquer(subq_sets, 0, m - 1, /*cap=*/192);
+  for (size_t p = 0; p < front.f.size(); ++p) {
+    AggregatedPoint pt;
+    pt.candidate = candidate;
+    pt.f = std::move(front.f[p]);
+    pt.pool_choice = std::move(front.choice[p]);
+    out->push_back(std::move(pt));
+  }
+}
+
+}  // namespace
+
+MooRunResult HmoocSolver::Solve() const {
+  const auto t0 = std::chrono::steady_clock::now();
+  const size_t evals_before = model_->eval_count();
+  Rng rng(opts_.seed);
+  const int m = model_->num_subqs();
+
+  const auto& space = SparkParamSpace();
+  const ParamSpace c_space = space.Subspace(ParamCategory::kContext);
+  // theta_p and theta_s are sampled jointly (11 dims).
+  std::vector<ParamSpec> ps_specs;
+  for (const auto& s : space.specs()) {
+    if (s.category != ParamCategory::kContext) ps_specs.push_back(s);
+  }
+  const ParamSpace ps_space(std::move(ps_specs));
+
+  // ---- Step 1: theta_c candidates ---------------------------------------
+  std::vector<std::vector<double>> theta_c;
+  if (opts_.grid_init) {
+    theta_c = SampleGrid(c_space, 2,
+                         static_cast<size_t>(opts_.theta_c_samples));
+    // Grid init is complemented by random sampling (Section 5.1.1).
+    auto extra = SampleUniform(
+        c_space,
+        std::max(0, opts_.theta_c_samples -
+                        static_cast<int>(theta_c.size())),
+        &rng, opts_.search_margin);
+    theta_c.insert(theta_c.end(), extra.begin(), extra.end());
+  } else {
+    theta_c = SampleLatinHypercube(
+        c_space, static_cast<size_t>(opts_.theta_c_samples), &rng,
+        opts_.search_margin);
+  }
+
+  // ---- Step 2: cluster theta_c ------------------------------------------
+  std::vector<std::vector<double>> c_unit;
+  c_unit.reserve(theta_c.size());
+  for (const auto& c : theta_c) c_unit.push_back(c_space.Normalize(c));
+  const KMeansResult km = KMeans(c_unit, opts_.clusters, 20,
+                                 HashCombine(opts_.seed, 0xC1));
+  const int n_clusters = static_cast<int>(km.centroids.size());
+
+  // ---- Step 3: theta_p MOO per representative ---------------------------
+  const auto pool = SampleLatinHypercube(
+      ps_space, static_cast<size_t>(opts_.theta_p_samples), &rng,
+      opts_.search_margin);
+  // opt_pool[r][i] = pool indices Pareto-optimal for subQ i under rep r.
+  std::vector<std::vector<std::vector<int>>> opt_pool(
+      n_clusters, std::vector<std::vector<int>>(m));
+  for (int r = 0; r < n_clusters; ++r) {
+    const auto& rep_c = theta_c[km.representative[r]];
+    for (int i = 0; i < m; ++i) {
+      std::vector<ObjectiveVector> fs;
+      fs.reserve(pool.size());
+      for (const auto& ps : pool) {
+        fs.push_back(model_->Evaluate(i, MakeConf(rep_c, ps)));
+      }
+      for (size_t j : ParetoIndices(fs)) {
+        opt_pool[r][i].push_back(static_cast<int>(j));
+      }
+    }
+  }
+
+  // ---- Step 4 + 5: assign optimal theta_p to members; enrich theta_c ----
+  auto evaluate_members =
+      [&](const std::vector<std::vector<double>>& members,
+          const std::vector<int>& member_cluster, EffectiveSet* eff) {
+        for (size_t c = 0; c < members.size(); ++c) {
+          const int r = member_cluster[c];
+          std::vector<std::vector<SubQEntry>> subq_sets(m);
+          for (int i = 0; i < m; ++i) {
+            std::vector<ObjectiveVector> fs;
+            fs.reserve(opt_pool[r][i].size());
+            for (int j : opt_pool[r][i]) {
+              fs.push_back(model_->Evaluate(i, MakeConf(members[c], pool[j])));
+            }
+            // Keep only the member-level Pareto entries (Prop. 5.1).
+            for (size_t idx : ParetoIndices(fs)) {
+              subq_sets[i].push_back(
+                  {opt_pool[r][i][idx], std::move(fs[idx])});
+            }
+          }
+          eff->push_back(std::move(subq_sets));
+        }
+      };
+
+  EffectiveSet eff;
+  std::vector<std::vector<double>> all_theta_c = theta_c;
+  evaluate_members(theta_c, km.assignment, &eff);
+
+  if (opts_.enriched_samples > 0 && theta_c.size() >= 2) {
+    // theta_c crossover (Appendix C.1): one-point Cartesian recombination
+    // of existing candidates.
+    std::vector<std::vector<double>> enriched;
+    std::vector<std::vector<double>> enriched_unit;
+    while (static_cast<int>(enriched.size()) < opts_.enriched_samples) {
+      const size_t a = rng.NextBounded(theta_c.size());
+      size_t b = rng.NextBounded(theta_c.size());
+      if (a == b) b = (b + 1) % theta_c.size();
+      const size_t cut = 1 + rng.NextBounded(c_space.size() - 1);
+      auto [c1, c2] = CrossoverOnePoint(theta_c[a], theta_c[b], cut);
+      enriched.push_back(std::move(c1));
+      if (static_cast<int>(enriched.size()) < opts_.enriched_samples) {
+        enriched.push_back(std::move(c2));
+      }
+    }
+    for (const auto& c : enriched) {
+      enriched_unit.push_back(c_space.Normalize(c));
+    }
+    const auto clusters = AssignToCentroids(enriched_unit, km.centroids);
+    evaluate_members(enriched, clusters, &eff);
+    all_theta_c.insert(all_theta_c.end(), enriched.begin(), enriched.end());
+  }
+
+  // ---- Step 6: DAG aggregation -------------------------------------------
+  std::vector<AggregatedPoint> points;
+  for (size_t c = 0; c < eff.size(); ++c) {
+    switch (opts_.aggregation) {
+      case DagAggregation::kBoundary:
+        AggregateBoundary(eff, static_cast<int>(c), &points);
+        break;
+      case DagAggregation::kWeightedSum:
+        AggregateWeightedSum(eff, static_cast<int>(c), opts_.ws_pairs,
+                             opts_.hmooc2_normalize_per_subq, &points);
+        break;
+      case DagAggregation::kDivideAndConquer:
+        AggregateDivideAndConquer(eff, static_cast<int>(c), &points);
+        break;
+    }
+  }
+
+  // ---- Step 7: query-level Pareto filter + solution assembly -----------
+  std::vector<ObjectiveVector> fs;
+  fs.reserve(points.size());
+  for (const auto& p : points) fs.push_back(p.f);
+
+  MooRunResult result;
+  // Deduplicate coincident points (e.g. a candidate whose two extreme
+  // points collapse onto the same solution).
+  std::vector<std::pair<std::pair<double, double>, int>> seen;
+  for (size_t idx : ParetoIndices(fs)) {
+    const auto& p = points[idx];
+    const std::pair<std::pair<double, double>, int> key = {
+        {p.f[0], p.f[1]}, p.candidate};
+    if (std::find(seen.begin(), seen.end(), key) != seen.end()) continue;
+    seen.push_back(key);
+    MooSolution sol;
+    sol.objectives = p.f;
+    sol.per_subq_conf.reserve(m);
+    for (int i = 0; i < m; ++i) {
+      sol.per_subq_conf.push_back(
+          MakeConf(all_theta_c[p.candidate], pool[p.pool_choice[i]]));
+    }
+    sol.conf = sol.per_subq_conf.front();
+    result.pareto.push_back(std::move(sol));
+  }
+  result.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  result.evaluations = model_->eval_count() - evals_before;
+  return result;
+}
+
+}  // namespace sparkopt

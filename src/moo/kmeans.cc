@@ -1,0 +1,139 @@
+#include "moo/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace sparkopt {
+
+namespace {
+
+double Dist2(const std::vector<double>& a, const std::vector<double>& b) {
+  double d = 0.0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) d += (a[i] - b[i]) * (a[i] - b[i]);
+  return d;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const std::vector<std::vector<double>>& points, int k,
+                    int max_iters, uint64_t seed) {
+  KMeansResult result;
+  const int n = static_cast<int>(points.size());
+  if (n == 0) return result;
+  k = std::min(k, n);
+  Rng rng(seed);
+
+  // k-means++ seeding.
+  result.centroids.push_back(points[rng.NextBounded(n)]);
+  std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+  while (static_cast<int>(result.centroids.size()) < k) {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      d2[i] = std::min(d2[i], Dist2(points[i], result.centroids.back()));
+      total += d2[i];
+    }
+    if (total <= 0.0) break;
+    double target = rng.Uniform() * total;
+    int chosen = n - 1;
+    for (int i = 0; i < n; ++i) {
+      target -= d2[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    result.centroids.push_back(points[chosen]);
+  }
+  k = static_cast<int>(result.centroids.size());
+
+  result.assignment.assign(n, 0);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    for (int i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        const double d = Dist2(points[i], result.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    // Recompute centroids.
+    const size_t dim = points[0].size();
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+    std::vector<int> counts(k, 0);
+    for (int i = 0; i < n; ++i) {
+      const int c = result.assignment[i];
+      ++counts[c];
+      for (size_t j = 0; j < dim; ++j) sums[c][j] += points[i][j];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed from the point farthest from its centroid.
+        int far = 0;
+        double far_d = -1.0;
+        for (int i = 0; i < n; ++i) {
+          const double d =
+              Dist2(points[i], result.centroids[result.assignment[i]]);
+          if (d > far_d) {
+            far_d = d;
+            far = i;
+          }
+        }
+        result.centroids[c] = points[far];
+        changed = true;
+        continue;
+      }
+      for (size_t j = 0; j < dim; ++j) {
+        result.centroids[c][j] = sums[c][j] / counts[c];
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Representatives: nearest member per centroid.
+  result.representative.assign(k, -1);
+  std::vector<double> rep_d(k, std::numeric_limits<double>::infinity());
+  for (int i = 0; i < n; ++i) {
+    const int c = result.assignment[i];
+    const double d = Dist2(points[i], result.centroids[c]);
+    if (d < rep_d[c]) {
+      rep_d[c] = d;
+      result.representative[c] = i;
+    }
+  }
+  // Guard: a centroid that lost all members keeps a valid representative.
+  for (int c = 0; c < k; ++c) {
+    if (result.representative[c] < 0) result.representative[c] = 0;
+  }
+  return result;
+}
+
+std::vector<int> AssignToCentroids(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<std::vector<double>>& centroids) {
+  std::vector<int> out(points.size(), 0);
+  for (size_t i = 0; i < points.size(); ++i) {
+    double best_d = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < centroids.size(); ++c) {
+      const double d = Dist2(points[i], centroids[c]);
+      if (d < best_d) {
+        best_d = d;
+        out[i] = static_cast<int>(c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sparkopt

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// \file kmeans.h
+/// \brief Small k-means used by HMOOC's theta_c clustering (Algorithm 1,
+/// line 2): similar theta_c candidates share the optimal theta_p of their
+/// cluster representative.
+
+namespace sparkopt {
+
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;  ///< k x d
+  std::vector<int> assignment;                 ///< point -> cluster
+  /// Index (into the input points) of the member nearest each centroid:
+  /// the cluster "representative".
+  std::vector<int> representative;
+};
+
+/// Lloyd's algorithm with k-means++ seeding; deterministic given `seed`.
+/// Empty clusters are re-seeded from the farthest point.
+KMeansResult KMeans(const std::vector<std::vector<double>>& points, int k,
+                    int max_iters, uint64_t seed);
+
+/// Assigns new points to the nearest existing centroid.
+std::vector<int> AssignToCentroids(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<std::vector<double>>& centroids);
+
+}  // namespace sparkopt

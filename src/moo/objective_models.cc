@@ -1,0 +1,40 @@
+#include "moo/objective_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sparkopt {
+
+ObjectiveVector AnalyticSubQModel::Evaluate(
+    int subq, const std::vector<double>& conf) const {
+  ++evals_;
+  const ContextParams tc = DecodeContext(conf);
+  const PlanParams tp = DecodePlan(conf);
+  const StageParams ts = DecodeStage(conf);
+  const auto obj =
+      evaluator_.Evaluate(subq, tc, tp, ts, CardinalitySource::kEstimated);
+  return {obj.analytical_latency, obj.cost};
+}
+
+ObjectiveVector LearnedSubQModel::Evaluate(
+    int subq, const std::vector<double>& conf) const {
+  ++evals_;
+  const ContextParams tc = DecodeContext(conf);
+  const PlanParams tp = DecodePlan(conf);
+  const StageParams ts = DecodeStage(conf);
+  const QueryStage stage = evaluator_.BuildStage(
+      subq, tc, tp, ts, CardinalitySource::kEstimated);
+  const auto features = StageFeatures(
+      evaluator_.query().plan, stage, conf, /*use_true_cards=*/false,
+      /*beta=*/{}, /*gamma=*/{}, /*drop_theta_p=*/false);
+  const auto pred = model_->Predict(features);
+  const double latency = std::max(pred[0], 1e-4);
+  const double io_mb = std::max(pred[1], 0.0);
+  const int cores = tc.TotalCores();
+  const double mem_gb = tc.executor_memory_gb * tc.executor_instances;
+  const double cost =
+      CloudCost(prices_, cores, mem_gb, latency, io_mb / 1024.0);
+  return {latency, cost};
+}
+
+}  // namespace sparkopt

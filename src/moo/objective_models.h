@@ -1,0 +1,70 @@
+#pragma once
+
+#include <memory>
+
+#include "model/features.h"
+#include "model/mlp.h"
+#include "model/subq_evaluator.h"
+#include "moo/problem.h"
+
+/// \file objective_models.h
+/// \brief Concrete phi implementations backing the MOO solvers.
+///
+/// AnalyticSubQModel evaluates the white-box compile-time cost directly
+/// (CBO-estimated cardinalities, uniform-partition and no-contention
+/// assumptions — exactly the paper's compile-time modeling constraints).
+/// LearnedSubQModel runs the trained subQ regressor on extracted features,
+/// reproducing the paper's learned-model optimization loop including its
+/// model error.
+
+namespace sparkopt {
+
+/// \brief White-box compile-time phi: wraps SubQEvaluator.
+class AnalyticSubQModel : public SubQObjectiveModel {
+ public:
+  AnalyticSubQModel(const Query* query, const ClusterSpec& cluster,
+                    const CostModelParams& cost,
+                    const PriceBook& prices = PriceBook())
+      : evaluator_(query, cluster, cost, prices) {}
+
+  int num_subqs() const override { return evaluator_.num_subqs(); }
+
+  ObjectiveVector Evaluate(int subq,
+                           const std::vector<double>& conf) const override;
+
+  size_t eval_count() const override { return evals_; }
+
+  const SubQEvaluator& evaluator() const { return evaluator_; }
+
+ private:
+  SubQEvaluator evaluator_;
+  mutable size_t evals_ = 0;
+};
+
+/// \brief Learned phi: features from the hypothesized stage, predictions
+/// from the trained subQ regressor; cost derived from predicted latency
+/// and IO via the price book (the paper's cost objective construction).
+class LearnedSubQModel : public SubQObjectiveModel {
+ public:
+  LearnedSubQModel(const Query* query, const ClusterSpec& cluster,
+                   const CostModelParams& cost, const Regressor* subq_model,
+                   const PriceBook& prices = PriceBook())
+      : evaluator_(query, cluster, cost, prices),
+        model_(subq_model),
+        prices_(prices) {}
+
+  int num_subqs() const override { return evaluator_.num_subqs(); }
+
+  ObjectiveVector Evaluate(int subq,
+                           const std::vector<double>& conf) const override;
+
+  size_t eval_count() const override { return evals_; }
+
+ private:
+  SubQEvaluator evaluator_;
+  const Regressor* model_;
+  PriceBook prices_;
+  mutable size_t evals_ = 0;
+};
+
+}  // namespace sparkopt

@@ -1,0 +1,81 @@
+#include "moo/problem.h"
+
+#include <limits>
+
+namespace sparkopt {
+
+ObjectiveVector SubQObjectiveModel::EvaluateQuery(
+    const std::vector<double>& theta_c_conf,
+    const std::vector<std::vector<double>>& per_subq_conf) const {
+  ObjectiveVector total(2, 0.0);
+  for (int i = 0; i < num_subqs(); ++i) {
+    // Each per-subQ conf shares theta_c from theta_c_conf.
+    std::vector<double> conf =
+        per_subq_conf[per_subq_conf.size() == 1 ? 0 : i];
+    for (size_t j = 0; j < 8 && j < theta_c_conf.size(); ++j) {
+      conf[j] = theta_c_conf[j];
+    }
+    const auto f = Evaluate(i, conf);
+    total[0] += f[0];
+    total[1] += f[1];
+  }
+  return total;
+}
+
+size_t MooRunResult::Recommend(const std::vector<double>& weights) const {
+  std::vector<ObjectiveVector> pts;
+  pts.reserve(pareto.size());
+  for (const auto& s : pareto) pts.push_back(s.objectives);
+  return WeightedUtopiaNearest(pts, weights);
+}
+
+FlatProblem::FlatProblem(const SubQObjectiveModel* model, bool fine_grained)
+    : model_(model), fine_grained_(fine_grained) {
+  const auto& space = SparkParamSpace();
+  c_idx_ = space.CategoryIndices(ParamCategory::kContext);
+  p_idx_ = space.CategoryIndices(ParamCategory::kPlan);
+  s_idx_ = space.CategoryIndices(ParamCategory::kStage);
+  const size_t groups = fine_grained_ ? model_->num_subqs() : 1;
+  dims_ = c_idx_.size() + groups * (p_idx_.size() + s_idx_.size());
+}
+
+MooSolution FlatProblem::Decode(const std::vector<double>& x) const {
+  const auto& space = SparkParamSpace();
+  const size_t groups = fine_grained_ ? model_->num_subqs() : 1;
+  MooSolution sol;
+
+  // Unit-cube base config with defaults everywhere, then overwrite.
+  std::vector<double> base_unit(kNumSparkParams, 0.0);
+  {
+    const auto defaults = space.Defaults();
+    base_unit = space.Normalize(defaults);
+  }
+  size_t pos = 0;
+  for (size_t j : c_idx_) base_unit[j] = x[pos++];
+
+  sol.per_subq_conf.reserve(groups);
+  for (size_t g = 0; g < groups; ++g) {
+    std::vector<double> unit = base_unit;
+    for (size_t j : p_idx_) unit[j] = x[pos++];
+    for (size_t j : s_idx_) unit[j] = x[pos++];
+    sol.per_subq_conf.push_back(space.Denormalize(unit));
+  }
+  sol.conf = sol.per_subq_conf.front();
+  if (!fine_grained_) sol.per_subq_conf.clear();
+  return sol;
+}
+
+ObjectiveVector FlatProblem::Eval(const std::vector<double>& x) const {
+  MooSolution sol = Decode(x);
+  ObjectiveVector total(2, 0.0);
+  const int m = model_->num_subqs();
+  for (int i = 0; i < m; ++i) {
+    const auto& conf = fine_grained_ ? sol.per_subq_conf[i] : sol.conf;
+    const auto f = model_->Evaluate(i, conf);
+    total[0] += f[0];
+    total[1] += f[1];
+  }
+  return total;
+}
+
+}  // namespace sparkopt

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <vector>
+
+#include "common/pareto.h"
+#include "params/spark_params.h"
+
+/// \file problem.h
+/// \brief Interfaces between the MOO algorithms and the objective models.
+///
+/// All solvers minimize k = 2 objectives: analytical latency (seconds)
+/// and cloud cost (dollars). Two problem shapes exist:
+///  - subQ-separable (HMOOC): objectives are evaluated per subQ and summed
+///    (Definition 5.1); exposed by SubQObjectiveModel.
+///  - monolithic (WS / Evo / PF baselines): a flat decision vector covers
+///    theta_c plus one theta_p/theta_s copy per subQ (fine-grained) or a
+///    single copy (query-level control); exposed by QueryObjectiveFn.
+
+namespace sparkopt {
+
+/// \brief Per-subQ objective evaluation phi(subQ_i; theta).
+///
+/// `conf` is a full 19-dim raw Spark configuration (theta_c + theta_p +
+/// theta_s); implementations ignore the components that do not apply.
+class SubQObjectiveModel {
+ public:
+  virtual ~SubQObjectiveModel() = default;
+
+  virtual int num_subqs() const = 0;
+  /// Returns {analytical latency (s), cost ($)} of one subQ.
+  virtual ObjectiveVector Evaluate(int subq,
+                                   const std::vector<double>& conf) const = 0;
+  /// Number of model evaluations performed so far (for benchmarks).
+  virtual size_t eval_count() const = 0;
+
+  /// Query-level objectives: sum over subQs with shared theta_c and
+  /// per-subQ theta_p/theta_s (defaults to a loop over Evaluate).
+  ObjectiveVector EvaluateQuery(
+      const std::vector<double>& theta_c_conf,
+      const std::vector<std::vector<double>>& per_subq_conf) const;
+};
+
+/// \brief Monolithic objective over a normalized decision vector in
+/// [0,1]^dims. Used by the WS / Evo / PF baselines.
+class QueryObjectiveFn {
+ public:
+  virtual ~QueryObjectiveFn() = default;
+  virtual size_t dims() const = 0;
+  virtual ObjectiveVector Eval(const std::vector<double>& x) const = 0;
+};
+
+/// One solution of the Spark tuning MOO problem.
+struct MooSolution {
+  ObjectiveVector objectives;             ///< {latency, cost}
+  std::vector<double> conf;               ///< full 19-dim (query-level view)
+  /// Fine-grained assignment: full 19-dim configuration per subQ (all
+  /// sharing the same theta_c block). Empty for query-level solutions.
+  std::vector<std::vector<double>> per_subq_conf;
+};
+
+/// Result of one solver invocation.
+struct MooRunResult {
+  std::vector<MooSolution> pareto;  ///< non-dominated solutions
+  double solve_seconds = 0.0;
+  size_t evaluations = 0;
+
+  /// WUN-recommended solution index for the given preference weights.
+  size_t Recommend(const std::vector<double>& weights) const;
+};
+
+/// \brief Adapts a SubQObjectiveModel to the monolithic interface.
+///
+/// Layout of x (normalized): [theta_c (8)] ++ per tuned group
+/// [theta_p (9) ++ theta_s (2)]. With `fine_grained` the group count is
+/// num_subqs (dims = 8 + 11 m); otherwise one shared group (dims = 19).
+class FlatProblem : public QueryObjectiveFn {
+ public:
+  FlatProblem(const SubQObjectiveModel* model, bool fine_grained);
+
+  size_t dims() const override { return dims_; }
+  ObjectiveVector Eval(const std::vector<double>& x) const override;
+
+  /// Decodes a normalized decision vector into per-subQ raw confs.
+  MooSolution Decode(const std::vector<double>& x) const;
+
+ private:
+  const SubQObjectiveModel* model_;
+  bool fine_grained_;
+  size_t dims_;
+  std::vector<size_t> c_idx_, p_idx_, s_idx_;  // indices into the 19-dim space
+};
+
+}  // namespace sparkopt

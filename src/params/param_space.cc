@@ -1,0 +1,112 @@
+#include "params/param_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sparkopt {
+
+double ParamSpec::Normalize(double raw) const {
+  double lo_v = lo, hi_v = hi, x = Sanitize(raw);
+  if (log_scale) {
+    lo_v = std::log(std::max(lo, 1e-12));
+    hi_v = std::log(std::max(hi, 1e-12));
+    x = std::log(std::max(x, 1e-12));
+  }
+  if (hi_v <= lo_v) return 0.0;
+  return (x - lo_v) / (hi_v - lo_v);
+}
+
+double ParamSpec::Denormalize(double u) const {
+  u = std::clamp(u, 0.0, 1.0);
+  double raw;
+  if (log_scale) {
+    const double lo_v = std::log(std::max(lo, 1e-12));
+    const double hi_v = std::log(std::max(hi, 1e-12));
+    raw = std::exp(lo_v + u * (hi_v - lo_v));
+  } else {
+    raw = lo + u * (hi - lo);
+  }
+  return Sanitize(raw);
+}
+
+double ParamSpec::Sanitize(double raw) const {
+  raw = std::clamp(raw, lo, hi);
+  if (type == ParamType::kInt || type == ParamType::kBool ||
+      type == ParamType::kCategorical) {
+    raw = std::round(raw);
+    raw = std::clamp(raw, lo, hi);
+  }
+  return raw;
+}
+
+ParamSpace::ParamSpace(std::vector<ParamSpec> specs)
+    : specs_(std::move(specs)) {}
+
+Result<size_t> ParamSpace::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].name == name) return i;
+  }
+  return Status::NotFound("parameter not in space: " + name);
+}
+
+ParamSpace ParamSpace::Subspace(ParamCategory category) const {
+  std::vector<ParamSpec> subset;
+  for (const auto& s : specs_) {
+    if (s.category == category) subset.push_back(s);
+  }
+  return ParamSpace(std::move(subset));
+}
+
+std::vector<size_t> ParamSpace::CategoryIndices(
+    ParamCategory category) const {
+  std::vector<size_t> idx;
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].category == category) idx.push_back(i);
+  }
+  return idx;
+}
+
+std::vector<double> ParamSpace::Defaults() const {
+  std::vector<double> d(specs_.size());
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    d[i] = specs_[i].Sanitize(specs_[i].default_value);
+  }
+  return d;
+}
+
+std::vector<double> ParamSpace::Normalize(
+    const std::vector<double>& raw) const {
+  std::vector<double> u(specs_.size(), 0.0);
+  const size_t n = std::min(raw.size(), specs_.size());
+  for (size_t i = 0; i < n; ++i) u[i] = specs_[i].Normalize(raw[i]);
+  return u;
+}
+
+std::vector<double> ParamSpace::Denormalize(
+    const std::vector<double>& unit) const {
+  std::vector<double> raw(specs_.size(), 0.0);
+  const size_t n = std::min(unit.size(), specs_.size());
+  for (size_t i = 0; i < n; ++i) raw[i] = specs_[i].Denormalize(unit[i]);
+  return raw;
+}
+
+std::vector<double> ParamSpace::Sanitize(std::vector<double> raw) const {
+  raw.resize(specs_.size(), 0.0);
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    raw[i] = specs_[i].Sanitize(raw[i]);
+  }
+  return raw;
+}
+
+double ParamSpace::NormalizedDistance(const std::vector<double>& a,
+                                      const std::vector<double>& b) const {
+  const auto ua = Normalize(a);
+  const auto ub = Normalize(b);
+  double d = 0.0;
+  for (size_t i = 0; i < ua.size(); ++i) {
+    d += (ua[i] - ub[i]) * (ua[i] - ub[i]);
+  }
+  return std::sqrt(d);
+}
+
+}  // namespace sparkopt

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file param_space.h
+/// \brief Parameter space definitions.
+///
+/// A ParamSpec describes one tunable Spark parameter (domain, type, scale);
+/// a ParamSpace is an ordered list of specs. Configurations are stored as
+/// raw double vectors aligned with a space; helpers convert between raw
+/// values and the normalized [0,1] cube used by samplers, clustering, and
+/// model features.
+
+namespace sparkopt {
+
+/// Value type of a parameter.
+enum class ParamType {
+  kInt,         ///< integer-valued (rounded after denormalization)
+  kFloat,       ///< continuous
+  kBool,        ///< {0, 1}
+  kCategorical  ///< integer codes 0..n-1 without metric structure
+};
+
+/// Which tuning granularity a parameter belongs to (paper Table 1).
+enum class ParamCategory {
+  kContext,    ///< theta_c: set once per query at submission
+  kPlan,       ///< theta_p: per collapsed-logical-plan transformation
+  kStage       ///< theta_s: per query stage
+};
+
+/// \brief Descriptor of one tunable parameter.
+struct ParamSpec {
+  std::string name;
+  ParamType type = ParamType::kFloat;
+  ParamCategory category = ParamCategory::kContext;
+  double lo = 0.0;          ///< inclusive lower bound (raw scale)
+  double hi = 1.0;          ///< inclusive upper bound (raw scale)
+  bool log_scale = false;   ///< normalize in log space (byte sizes etc.)
+  double default_value = 0.0;
+
+  /// Maps a raw value into [0,1].
+  double Normalize(double raw) const;
+  /// Maps u in [0,1] back to a valid raw value (rounds ints/bools).
+  double Denormalize(double u) const;
+  /// Clamps + rounds a raw value to the domain.
+  double Sanitize(double raw) const;
+};
+
+/// \brief An ordered, named collection of parameters.
+class ParamSpace {
+ public:
+  ParamSpace() = default;
+  explicit ParamSpace(std::vector<ParamSpec> specs);
+
+  size_t size() const { return specs_.size(); }
+  const ParamSpec& spec(size_t i) const { return specs_[i]; }
+  const std::vector<ParamSpec>& specs() const { return specs_; }
+
+  /// Index of a parameter by name, or error.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// The subset of this space in the given category, preserving order.
+  ParamSpace Subspace(ParamCategory category) const;
+
+  /// Indices into this space of the parameters in `category`.
+  std::vector<size_t> CategoryIndices(ParamCategory category) const;
+
+  /// Default configuration (raw values).
+  std::vector<double> Defaults() const;
+
+  /// Normalizes a raw configuration into the unit cube.
+  std::vector<double> Normalize(const std::vector<double>& raw) const;
+  /// Denormalizes a unit-cube point into a valid raw configuration.
+  std::vector<double> Denormalize(const std::vector<double>& unit) const;
+  /// Clamps + rounds every coordinate to its domain.
+  std::vector<double> Sanitize(std::vector<double> raw) const;
+
+  /// Euclidean distance between two configurations in normalized space.
+  double NormalizedDistance(const std::vector<double>& a,
+                            const std::vector<double>& b) const;
+
+ private:
+  std::vector<ParamSpec> specs_;
+};
+
+}  // namespace sparkopt

@@ -1,0 +1,101 @@
+#include "params/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sparkopt {
+
+namespace {
+double ApplyMargin(double u, double margin) {
+  return margin + u * (1.0 - 2.0 * margin);
+}
+}  // namespace
+
+std::vector<std::vector<double>> SampleUniform(const ParamSpace& space,
+                                               size_t n, Rng* rng,
+                                               double margin) {
+  std::vector<std::vector<double>> out;
+  out.reserve(n);
+  const size_t d = space.size();
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> u(d);
+    for (size_t j = 0; j < d; ++j) {
+      u[j] = ApplyMargin(rng->Uniform(), margin);
+    }
+    out.push_back(space.Denormalize(u));
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> SampleLatinHypercube(const ParamSpace& space,
+                                                      size_t n, Rng* rng,
+                                                      double margin) {
+  const size_t d = space.size();
+  std::vector<std::vector<double>> unit(n, std::vector<double>(d));
+  for (size_t j = 0; j < d; ++j) {
+    auto perm = rng->Permutation(static_cast<int>(n));
+    for (size_t i = 0; i < n; ++i) {
+      const double stratum = static_cast<double>(perm[i]);
+      unit[i][j] = ApplyMargin(
+          (stratum + rng->Uniform()) / static_cast<double>(n), margin);
+    }
+  }
+  std::vector<std::vector<double>> out;
+  out.reserve(n);
+  for (auto& u : unit) out.push_back(space.Denormalize(u));
+  return out;
+}
+
+std::vector<std::vector<double>> SampleGrid(const ParamSpace& space,
+                                            size_t levels_per_dim,
+                                            size_t max_points) {
+  const size_t d = space.size();
+  if (levels_per_dim == 0 || d == 0) return {};
+  // Total = levels^d, enumerated in mixed radix; stop at max_points.
+  std::vector<std::vector<double>> out;
+  std::vector<size_t> digits(d, 0);
+  while (out.size() < max_points) {
+    std::vector<double> u(d);
+    for (size_t j = 0; j < d; ++j) {
+      u[j] = levels_per_dim == 1
+                 ? 0.5
+                 : static_cast<double>(digits[j]) /
+                       static_cast<double>(levels_per_dim - 1);
+    }
+    out.push_back(space.Denormalize(u));
+    // Increment mixed-radix counter.
+    size_t j = 0;
+    while (j < d) {
+      if (++digits[j] < levels_per_dim) break;
+      digits[j] = 0;
+      ++j;
+    }
+    if (j == d) break;  // wrapped around: full grid enumerated
+  }
+  return out;
+}
+
+std::vector<double> Perturb(const ParamSpace& space,
+                            const std::vector<double>& conf, double sigma,
+                            Rng* rng) {
+  auto u = space.Normalize(conf);
+  for (double& x : u) {
+    x = std::clamp(x + rng->Normal(0.0, sigma), 0.0, 1.0);
+  }
+  return space.Denormalize(u);
+}
+
+std::pair<std::vector<double>, std::vector<double>> CrossoverOnePoint(
+    const std::vector<double>& a, const std::vector<double>& b, size_t cut) {
+  const size_t d = std::min(a.size(), b.size());
+  cut = std::min(cut, d);
+  std::vector<double> c1 = a;
+  std::vector<double> c2 = b;
+  for (size_t i = cut; i < d; ++i) {
+    c1[i] = b[i];
+    c2[i] = a[i];
+  }
+  return {std::move(c1), std::move(c2)};
+}
+
+}  // namespace sparkopt

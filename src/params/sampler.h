@@ -1,0 +1,54 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "params/param_space.h"
+
+/// \file sampler.h
+/// \brief Configuration samplers over a ParamSpace.
+///
+/// The paper collects training traces with Latin Hypercube Sampling and
+/// initializes HMOOC's theta_c candidates by random sampling or grid
+/// search; all three strategies are provided here. Samplers return raw
+/// (denormalized, sanitized) configuration vectors.
+
+namespace sparkopt {
+
+/// Uniform i.i.d. samples in the (log-scaled where applicable) unit cube.
+/// `margin` shrinks the sampled range to [margin, 1-margin] per dimension
+/// — the paper's search-range refinement that avoids extreme parameter
+/// values where model predictions are least reliable (Section 6.3).
+std::vector<std::vector<double>> SampleUniform(const ParamSpace& space,
+                                               size_t n, Rng* rng,
+                                               double margin = 0.0);
+
+/// \brief Latin Hypercube Sampling (McKay et al.): each dimension's range
+/// is split into n strata and each stratum is hit exactly once, with the
+/// per-dimension stratum order shuffled independently. `margin` as above.
+std::vector<std::vector<double>> SampleLatinHypercube(const ParamSpace& space,
+                                                      size_t n, Rng* rng,
+                                                      double margin = 0.0);
+
+/// \brief Full-factorial grid with `levels_per_dim` evenly spaced levels
+/// in each dimension. The total count is levels^d; callers cap it via
+/// `max_points` (excess combinations are dropped round-robin).
+std::vector<std::vector<double>> SampleGrid(const ParamSpace& space,
+                                            size_t levels_per_dim,
+                                            size_t max_points);
+
+/// \brief Gaussian perturbation of a configuration in normalized space
+/// (sigma per dimension), sanitized back to the domain. Used for local
+/// search and evolutionary mutation.
+std::vector<double> Perturb(const ParamSpace& space,
+                            const std::vector<double>& conf, double sigma,
+                            Rng* rng);
+
+/// \brief Single-point crossover of two raw configurations (used by
+/// HMOOC's theta_c enrichment, Appendix C.1): child takes a[0..cut) and
+/// b[cut..d). Returns both children.
+std::pair<std::vector<double>, std::vector<double>> CrossoverOnePoint(
+    const std::vector<double>& a, const std::vector<double>& b, size_t cut);
+
+}  // namespace sparkopt

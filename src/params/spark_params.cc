@@ -1,0 +1,169 @@
+#include "params/spark_params.h"
+
+namespace sparkopt {
+
+namespace {
+
+ParamSpec Spec(const char* name, ParamType type, ParamCategory cat,
+               double lo, double hi, bool log_scale, double def) {
+  ParamSpec s;
+  s.name = name;
+  s.type = type;
+  s.category = cat;
+  s.lo = lo;
+  s.hi = hi;
+  s.log_scale = log_scale;
+  s.default_value = def;
+  return s;
+}
+
+ParamSpace BuildSparkSpace() {
+  using PT = ParamType;
+  using PC = ParamCategory;
+  std::vector<ParamSpec> specs;
+  specs.reserve(kNumSparkParams);
+  // theta_c -------------------------------------------------------------
+  specs.push_back(Spec("spark.executor.cores", PT::kInt, PC::kContext,
+                       1, 8, false, 4));
+  specs.push_back(Spec("spark.executor.memory", PT::kInt, PC::kContext,
+                       1, 32, true, 8));
+  specs.push_back(Spec("spark.executor.instances", PT::kInt, PC::kContext,
+                       2, 16, false, 4));
+  specs.push_back(Spec("spark.default.parallelism", PT::kInt, PC::kContext,
+                       8, 512, true, 64));
+  specs.push_back(Spec("spark.reducer.maxSizeInFlight", PT::kInt,
+                       PC::kContext, 12, 192, true, 48));
+  specs.push_back(Spec("spark.shuffle.sort.bypassMergeThreshold", PT::kInt,
+                       PC::kContext, 50, 800, false, 200));
+  specs.push_back(Spec("spark.shuffle.compress", PT::kBool, PC::kContext,
+                       0, 1, false, 1));
+  specs.push_back(Spec("spark.memory.fraction", PT::kFloat, PC::kContext,
+                       0.4, 0.9, false, 0.6));
+  // theta_p -------------------------------------------------------------
+  specs.push_back(Spec("spark.sql.adaptive.advisoryPartitionSizeInBytes",
+                       PT::kFloat, PC::kPlan, 8, 256, true, 64));
+  specs.push_back(
+      Spec("spark.sql.adaptive.nonEmptyPartitionRatioForBroadcastJoin",
+           PT::kFloat, PC::kPlan, 0.0, 1.0, false, 0.2));
+  specs.push_back(
+      Spec("spark.sql.adaptive.maxShuffledHashJoinLocalMapThreshold",
+           PT::kFloat, PC::kPlan, 0, 512, false, 0));
+  specs.push_back(Spec("spark.sql.adaptive.autoBroadcastJoinThreshold",
+                       PT::kFloat, PC::kPlan, 0, 256, false, 10));
+  specs.push_back(Spec("spark.sql.shuffle.partitions", PT::kInt, PC::kPlan,
+                       8, 1024, true, 200));
+  specs.push_back(
+      Spec("spark.sql.adaptive.skewJoin.skewedPartitionThresholdInBytes",
+           PT::kFloat, PC::kPlan, 32, 1024, true, 256));
+  specs.push_back(Spec("spark.sql.adaptive.skewJoin.skewedPartitionFactor",
+                       PT::kFloat, PC::kPlan, 2, 10, false, 5));
+  specs.push_back(Spec("spark.sql.files.maxPartitionBytes", PT::kFloat,
+                       PC::kPlan, 16, 512, true, 128));
+  specs.push_back(Spec("spark.sql.files.openCostInBytes", PT::kFloat,
+                       PC::kPlan, 0.5, 16, true, 4));
+  // theta_s -------------------------------------------------------------
+  specs.push_back(
+      Spec("spark.sql.adaptive.rebalancePartitionsSmallPartitionFactor",
+           PT::kFloat, PC::kStage, 0.1, 0.5, false, 0.2));
+  specs.push_back(
+      Spec("spark.sql.adaptive.coalescePartitions.minPartitionSize",
+           PT::kFloat, PC::kStage, 1, 64, true, 1));
+  return ParamSpace(std::move(specs));
+}
+
+}  // namespace
+
+const ParamSpace& SparkParamSpace() {
+  static const ParamSpace space = BuildSparkSpace();
+  return space;
+}
+
+namespace {
+double At(const std::vector<double>& conf, size_t i) {
+  return i < conf.size() ? conf[i] : SparkParamSpace().spec(i).default_value;
+}
+}  // namespace
+
+ContextParams DecodeContext(const std::vector<double>& conf) {
+  ContextParams c;
+  c.executor_cores = static_cast<int>(At(conf, kExecutorCores));
+  c.executor_memory_gb = At(conf, kExecutorMemoryGb);
+  c.executor_instances = static_cast<int>(At(conf, kExecutorInstances));
+  c.default_parallelism = static_cast<int>(At(conf, kDefaultParallelism));
+  c.reducer_max_size_in_flight_mb = At(conf, kReducerMaxSizeInFlightMb);
+  c.shuffle_bypass_merge_threshold =
+      static_cast<int>(At(conf, kShuffleBypassMergeThreshold));
+  c.shuffle_compress = At(conf, kShuffleCompress) >= 0.5;
+  c.memory_fraction = At(conf, kMemoryFraction);
+  return c;
+}
+
+PlanParams DecodePlan(const std::vector<double>& conf) {
+  PlanParams p;
+  p.advisory_partition_size_mb = At(conf, kAdvisoryPartitionSizeMb);
+  p.non_empty_partition_ratio = At(conf, kNonEmptyPartitionRatio);
+  p.shuffled_hash_join_threshold_mb =
+      At(conf, kShuffledHashJoinThresholdMb);
+  p.broadcast_join_threshold_mb = At(conf, kBroadcastJoinThresholdMb);
+  p.shuffle_partitions = static_cast<int>(At(conf, kShufflePartitions));
+  p.skewed_partition_threshold_mb = At(conf, kSkewedPartitionThresholdMb);
+  p.skewed_partition_factor = At(conf, kSkewedPartitionFactor);
+  p.max_partition_bytes_mb = At(conf, kMaxPartitionBytesMb);
+  p.file_open_cost_mb = At(conf, kFileOpenCostMb);
+  return p;
+}
+
+StageParams DecodeStage(const std::vector<double>& conf) {
+  StageParams s;
+  s.rebalance_small_factor = At(conf, kRebalanceSmallFactor);
+  s.coalesce_min_partition_size_mb = At(conf, kCoalesceMinPartitionSizeMb);
+  return s;
+}
+
+namespace {
+void EnsureSize(std::vector<double>* conf) {
+  if (conf->size() < kNumSparkParams) {
+    auto defaults = DefaultSparkConfig();
+    for (size_t i = conf->size(); i < kNumSparkParams; ++i) {
+      conf->push_back(defaults[i]);
+    }
+  }
+}
+}  // namespace
+
+void EncodeContext(const ContextParams& c, std::vector<double>* conf) {
+  EnsureSize(conf);
+  (*conf)[kExecutorCores] = c.executor_cores;
+  (*conf)[kExecutorMemoryGb] = c.executor_memory_gb;
+  (*conf)[kExecutorInstances] = c.executor_instances;
+  (*conf)[kDefaultParallelism] = c.default_parallelism;
+  (*conf)[kReducerMaxSizeInFlightMb] = c.reducer_max_size_in_flight_mb;
+  (*conf)[kShuffleBypassMergeThreshold] = c.shuffle_bypass_merge_threshold;
+  (*conf)[kShuffleCompress] = c.shuffle_compress ? 1.0 : 0.0;
+  (*conf)[kMemoryFraction] = c.memory_fraction;
+}
+
+void EncodePlan(const PlanParams& p, std::vector<double>* conf) {
+  EnsureSize(conf);
+  (*conf)[kAdvisoryPartitionSizeMb] = p.advisory_partition_size_mb;
+  (*conf)[kNonEmptyPartitionRatio] = p.non_empty_partition_ratio;
+  (*conf)[kShuffledHashJoinThresholdMb] = p.shuffled_hash_join_threshold_mb;
+  (*conf)[kBroadcastJoinThresholdMb] = p.broadcast_join_threshold_mb;
+  (*conf)[kShufflePartitions] = p.shuffle_partitions;
+  (*conf)[kSkewedPartitionThresholdMb] = p.skewed_partition_threshold_mb;
+  (*conf)[kSkewedPartitionFactor] = p.skewed_partition_factor;
+  (*conf)[kMaxPartitionBytesMb] = p.max_partition_bytes_mb;
+  (*conf)[kFileOpenCostMb] = p.file_open_cost_mb;
+}
+
+void EncodeStage(const StageParams& s, std::vector<double>* conf) {
+  EnsureSize(conf);
+  (*conf)[kRebalanceSmallFactor] = s.rebalance_small_factor;
+  (*conf)[kCoalesceMinPartitionSizeMb] = s.coalesce_min_partition_size_mb;
+}
+
+std::vector<double> DefaultSparkConfig() {
+  return SparkParamSpace().Defaults();
+}
+
+}  // namespace sparkopt

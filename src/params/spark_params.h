@@ -1,0 +1,101 @@
+#pragma once
+
+#include <vector>
+
+#include "params/param_space.h"
+
+/// \file spark_params.h
+/// \brief The concrete 19-parameter Spark tuning space used in the paper
+/// (Table 6): 8 context parameters (theta_c), 9 logical-query-plan
+/// parameters (theta_p), and 2 query-stage parameters (theta_s).
+///
+/// Domains follow Spark documentation ranges scaled to the simulated
+/// 6-node cluster; defaults are Spark 3.5 defaults (the paper's baseline
+/// configuration).
+
+namespace sparkopt {
+
+/// Well-known indices into the full 19-dim space, in declaration order.
+enum SparkParamIndex : size_t {
+  // theta_c
+  kExecutorCores = 0,          ///< k1 spark.executor.cores
+  kExecutorMemoryGb,           ///< k2 spark.executor.memory (GB)
+  kExecutorInstances,          ///< k3 spark.executor.instances
+  kDefaultParallelism,         ///< k4 spark.default.parallelism
+  kReducerMaxSizeInFlightMb,   ///< k5 spark.reducer.maxSizeInFlight (MB)
+  kShuffleBypassMergeThreshold,///< k6 spark.shuffle.sort.bypassMergeThreshold
+  kShuffleCompress,            ///< k7 spark.shuffle.compress (bool)
+  kMemoryFraction,             ///< k8 spark.memory.fraction
+  // theta_p
+  kAdvisoryPartitionSizeMb,    ///< s1 advisoryPartitionSizeInBytes (MB)
+  kNonEmptyPartitionRatio,     ///< s2 nonEmptyPartitionRatioForBroadcastJoin
+  kShuffledHashJoinThresholdMb,///< s3 maxShuffledHashJoinLocalMapThreshold
+  kBroadcastJoinThresholdMb,   ///< s4 autoBroadcastJoinThreshold (MB)
+  kShufflePartitions,          ///< s5 spark.sql.shuffle.partitions
+  kSkewedPartitionThresholdMb, ///< s6 skewJoin.skewedPartitionThreshold (MB)
+  kSkewedPartitionFactor,      ///< s7 skewJoin.skewedPartitionFactor
+  kMaxPartitionBytesMb,        ///< s8 files.maxPartitionBytes (MB)
+  kFileOpenCostMb,             ///< s9 files.openCostInBytes (MB)
+  // theta_s
+  kRebalanceSmallFactor,       ///< s10 rebalance smallPartitionFactor
+  kCoalesceMinPartitionSizeMb, ///< s11 coalesce minPartitionSize (MB)
+  kNumSparkParams
+};
+
+/// Builds the full 19-parameter space (theta_c ++ theta_p ++ theta_s).
+const ParamSpace& SparkParamSpace();
+
+/// \brief Decoded view of the 8 context parameters.
+struct ContextParams {
+  int executor_cores = 1;
+  double executor_memory_gb = 1.0;
+  int executor_instances = 2;
+  int default_parallelism = 64;
+  double reducer_max_size_in_flight_mb = 48.0;
+  int shuffle_bypass_merge_threshold = 200;
+  bool shuffle_compress = true;
+  double memory_fraction = 0.6;
+
+  /// Total cores k1 * k3 available to the query.
+  int TotalCores() const { return executor_cores * executor_instances; }
+  /// Memory available per concurrently running task, in MB.
+  double MemoryPerTaskMb() const {
+    return executor_memory_gb * 1024.0 * memory_fraction /
+           static_cast<double>(executor_cores);
+  }
+};
+
+/// \brief Decoded view of the 9 logical-plan parameters.
+struct PlanParams {
+  double advisory_partition_size_mb = 64.0;
+  double non_empty_partition_ratio = 0.2;
+  double shuffled_hash_join_threshold_mb = 0.0;
+  double broadcast_join_threshold_mb = 10.0;
+  int shuffle_partitions = 200;
+  double skewed_partition_threshold_mb = 256.0;
+  double skewed_partition_factor = 5.0;
+  double max_partition_bytes_mb = 128.0;
+  double file_open_cost_mb = 4.0;
+};
+
+/// \brief Decoded view of the 2 query-stage parameters.
+struct StageParams {
+  double rebalance_small_factor = 0.2;
+  double coalesce_min_partition_size_mb = 1.0;
+};
+
+/// Decoders from a full 19-dim raw configuration vector.
+ContextParams DecodeContext(const std::vector<double>& conf);
+PlanParams DecodePlan(const std::vector<double>& conf);
+StageParams DecodeStage(const std::vector<double>& conf);
+
+/// Encoders writing typed params back into a full configuration vector
+/// (vector is resized to kNumSparkParams if needed).
+void EncodeContext(const ContextParams& c, std::vector<double>* conf);
+void EncodePlan(const PlanParams& p, std::vector<double>* conf);
+void EncodeStage(const StageParams& s, std::vector<double>* conf);
+
+/// The Spark-default configuration (the paper's baseline).
+std::vector<double> DefaultSparkConfig();
+
+}  // namespace sparkopt

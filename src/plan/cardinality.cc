@@ -1,0 +1,122 @@
+#include "plan/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sparkopt {
+
+namespace {
+
+double MaxChildRows(const LogicalPlan& plan, const LogicalOperator& op,
+                    bool truth) {
+  double m = 0.0;
+  for (int c : op.children) {
+    const auto& ch = plan.op(c);
+    m = std::max(m, truth ? ch.true_rows : ch.est_rows);
+  }
+  return m;
+}
+
+double SumChildRows(const LogicalPlan& plan, const LogicalOperator& op,
+                    bool truth) {
+  double s = 0.0;
+  for (int c : op.children) {
+    const auto& ch = plan.op(c);
+    s += truth ? ch.true_rows : ch.est_rows;
+  }
+  return s;
+}
+
+}  // namespace
+
+int JoinDepth(const LogicalPlan& plan, int id) {
+  const auto& op = plan.op(id);
+  int depth = op.type == OpType::kJoin ? 1 : 0;
+  int child_max = 0;
+  for (int c : op.children) {
+    child_max = std::max(child_max, JoinDepth(plan, c));
+  }
+  return depth + child_max;
+}
+
+Status AnnotateCardinalities(const std::vector<TableStats>& catalog,
+                             const CboErrorModel& error, LogicalPlan* plan) {
+  for (int id : plan->TopologicalOrder()) {
+    auto& op = plan->op(id);
+    // Per-operator deterministic error stream.
+    Rng rng(HashCombine(error.seed, 0x5137D00DULL + 31 * id));
+
+    double rows_true = 0.0;
+    double rows_est = 0.0;
+    switch (op.type) {
+      case OpType::kScan: {
+        if (op.table_id < 0 ||
+            op.table_id >= static_cast<int>(catalog.size())) {
+          return Status::InvalidArgument("scan references unknown table");
+        }
+        const double base = catalog[op.table_id].rows;
+        rows_true = base * op.selectivity;
+        // Base-table stats are accurate; pushed-down predicates carry a
+        // modest selectivity error.
+        const double sel_err = rng.LogNormal(0.0, error.filter_sigma *
+                                                      (op.selectivity < 1.0));
+        rows_est = base * std::min(1.0, op.selectivity * sel_err);
+        break;
+      }
+      case OpType::kFilter: {
+        const double in_t = MaxChildRows(*plan, op, true);
+        const double in_e = MaxChildRows(*plan, op, false);
+        const double sel_err = rng.LogNormal(0.0, error.filter_sigma);
+        rows_true = in_t * op.selectivity;
+        rows_est = in_e * std::min(1.0, op.selectivity * sel_err);
+        break;
+      }
+      case OpType::kProject:
+      case OpType::kSort: {
+        rows_true = MaxChildRows(*plan, op, true);
+        rows_est = MaxChildRows(*plan, op, false);
+        break;
+      }
+      case OpType::kJoin: {
+        const double in_t = MaxChildRows(*plan, op, true);
+        const double in_e = MaxChildRows(*plan, op, false);
+        rows_true = in_t * op.cardinality_factor;
+        const double err =
+            error.join_bias * rng.LogNormal(0.0, error.sigma_per_join);
+        rows_est = in_e * op.cardinality_factor * err;
+        break;
+      }
+      case OpType::kAggregate: {
+        const double in_t = MaxChildRows(*plan, op, true);
+        const double in_e = MaxChildRows(*plan, op, false);
+        const double err = rng.LogNormal(0.0, error.filter_sigma);
+        rows_true = in_t * op.cardinality_factor;
+        rows_est = in_e * op.cardinality_factor * err;
+        break;
+      }
+      case OpType::kLimit: {
+        rows_true = std::min(MaxChildRows(*plan, op, true),
+                             op.cardinality_factor);
+        rows_est = std::min(MaxChildRows(*plan, op, false),
+                            op.cardinality_factor);
+        break;
+      }
+      case OpType::kUnion: {
+        rows_true = SumChildRows(*plan, op, true);
+        rows_est = SumChildRows(*plan, op, false);
+        break;
+      }
+      default:
+        return Status::Unimplemented("cardinality for operator type");
+    }
+    op.true_rows = std::max(rows_true, 1.0);
+    op.est_rows = std::max(rows_est, 1.0);
+    op.true_bytes = op.true_rows * op.out_row_bytes;
+    op.est_bytes = op.est_rows * op.out_row_bytes;
+  }
+  return Status::OK();
+}
+
+}  // namespace sparkopt

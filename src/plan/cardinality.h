@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "plan/logical_plan.h"
+
+/// \file cardinality.h
+/// \brief Cardinality annotation: true cardinalities (what execution will
+/// observe) and cost-based-optimizer estimates (what compile-time
+/// optimization must work with).
+///
+/// The CBO estimate follows the classical q-error model: the estimate is
+/// the true value perturbed by a log-normal factor whose variance grows
+/// with the operator's join depth, with a systematic underestimation bias
+/// for joins (Ioannidis-style error propagation). This reproduces the
+/// compile-time/runtime information gap that motivates the paper's
+/// adaptive runtime optimization (e.g. the mis-chosen broadcast in
+/// Figure 3(b)).
+
+namespace sparkopt {
+
+/// Knobs of the estimation-error model.
+struct CboErrorModel {
+  /// Log-stddev of the multiplicative error added per join level.
+  double sigma_per_join = 0.35;
+  /// Multiplicative bias applied per join level (< 1 = underestimation).
+  double join_bias = 0.86;
+  /// Log-stddev of the error on filter selectivities.
+  double filter_sigma = 0.25;
+  /// Seed component so each query gets a stable, distinct error draw.
+  uint64_t seed = 1;
+};
+
+/// \brief Computes `true_rows`/`true_bytes` and `est_rows`/`est_bytes`
+/// bottom-up for every operator in `plan`.
+///
+/// True cardinalities derive from the catalog and the operators'
+/// selectivity / cardinality_factor annotations. Estimates replay the same
+/// computation on top of error-perturbed selectivities, so errors compound
+/// with depth exactly as in a real CBO.
+Status AnnotateCardinalities(const std::vector<TableStats>& catalog,
+                             const CboErrorModel& error, LogicalPlan* plan);
+
+/// Number of joins at or below operator `id` (its "join depth"), used by
+/// the error model and by plan features.
+int JoinDepth(const LogicalPlan& plan, int id);
+
+}  // namespace sparkopt

@@ -1,0 +1,267 @@
+#include "runtime/runtime_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "params/sampler.h"
+
+namespace sparkopt {
+
+namespace {
+
+// theta_p (9 dims) and theta_s (2 dims) subspaces.
+const ParamSpace& PlanSpace() {
+  static const ParamSpace space =
+      SparkParamSpace().Subspace(ParamCategory::kPlan);
+  return space;
+}
+const ParamSpace& StageSpace() {
+  static const ParamSpace space =
+      SparkParamSpace().Subspace(ParamCategory::kStage);
+  return space;
+}
+
+PlanParams PlanFromSub(const std::vector<double>& sub) {
+  std::vector<double> conf = DefaultSparkConfig();
+  for (size_t i = 0; i < sub.size() && i < 9; ++i) conf[8 + i] = sub[i];
+  return DecodePlan(conf);
+}
+StageParams StageFromSub(const std::vector<double>& sub) {
+  std::vector<double> conf = DefaultSparkConfig();
+  for (size_t i = 0; i < sub.size() && i < 2; ++i) conf[17 + i] = sub[i];
+  return DecodeStage(conf);
+}
+
+// Weighted pick over candidates' (latency, cost), normalized by the
+// incumbent (candidate 0): score(c) = w0 * lat_c / lat_0 + w1 * cost_c /
+// cost_0, so the incumbent scores exactly 1. A challenger is adopted only
+// when its score beats 1 - hysteresis, keeping runtime re-optimization
+// from churning on prediction noise.
+size_t PickWeighted(const std::vector<SubQObjectives>& cands,
+                    const std::vector<double>& w,
+                    double hysteresis = 0.0) {
+  if (cands.empty()) return 0;
+  const double lat0 = std::max(cands[0].analytical_latency, 1e-9);
+  const double cost0 = std::max(cands[0].cost, 1e-12);
+  size_t best = 0;
+  double best_v = w[0] + w[1];  // incumbent's score
+  for (size_t i = 1; i < cands.size(); ++i) {
+    const double v = w[0] * cands[i].analytical_latency / lat0 +
+                     w[1] * cands[i].cost / cost0;
+    if (v < best_v) {
+      best_v = v;
+      best = i;
+    }
+  }
+  if (best != 0 && best_v > (w[0] + w[1]) * (1.0 - hysteresis)) return 0;
+  return best;
+}
+
+}  // namespace
+
+RuntimeOptimizer::RuntimeOptimizer(const SubQEvaluator* evaluator,
+                                   RuntimeOptimizerOptions opts)
+    : evaluator_(evaluator), opts_(std::move(opts)) {}
+
+void RuntimeOptimizer::OnPlanCollapsed(const LogicalPlan& plan,
+                                       const std::vector<SubQuery>& subqs,
+                                       const std::vector<bool>& completed,
+                                       std::vector<PlanParams>* theta_p) {
+  // Pruning (Appendix C.2.2): LQP parametric rules decide join
+  // algorithms, so a request is useful only when some remaining subQ
+  // contains a join whose inputs are now all completed.
+  std::vector<int> actionable;
+  for (const auto& sq : subqs) {
+    if (completed[sq.id]) continue;
+    bool has_ready_join = false;
+    for (int op_id : sq.op_ids) {
+      const auto& op = plan.op(op_id);
+      if (op.type != OpType::kJoin) continue;
+      bool inputs_ready = true;
+      for (int c : op.children) {
+        // Find the child's subQ.
+        for (const auto& csq : subqs) {
+          if (std::find(csq.op_ids.begin(), csq.op_ids.end(), c) !=
+              csq.op_ids.end()) {
+            if (csq.id != sq.id && !completed[csq.id]) inputs_ready = false;
+            break;
+          }
+        }
+      }
+      if (inputs_ready) has_ready_join = true;
+    }
+    if (has_ready_join) actionable.push_back(sq.id);
+  }
+  if (opts_.enable_pruning && actionable.empty()) {
+    ++stats_.lqp_pruned;
+    return;
+  }
+  ++stats_.lqp_sent;
+  overhead_s_ += opts_.request_overhead_s;
+
+  // Fine-grained from here on: expand a single shared theta_p.
+  const int m = static_cast<int>(subqs.size());
+  if (static_cast<int>(theta_p->size()) == 1 && m > 1) {
+    theta_p->assign(m, theta_p->front());
+  }
+
+  // Re-optimize theta_p of the actionable subQs (all remaining ones when
+  // pruning is off) against runtime statistics.
+  Rng rng(HashCombine(opts_.seed, stats_.lqp_sent));
+  const auto samples = SampleLatinHypercube(
+      PlanSpace(), static_cast<size_t>(opts_.theta_p_candidates), &rng,
+      /*margin=*/0.05);
+  std::vector<int> targets = actionable;
+  if (!opts_.enable_pruning) {
+    targets.clear();
+    for (const auto& sq : subqs) {
+      if (!completed[sq.id]) targets.push_back(sq.id);
+    }
+  }
+  for (int sq_id : targets) {
+    std::vector<PlanParams> cands;
+    cands.push_back((*theta_p)[std::min<size_t>(sq_id,
+                                                theta_p->size() - 1)]);
+    if (!init_theta_p_.empty()) {
+      cands.push_back(init_theta_p_[std::min<size_t>(
+          sq_id, init_theta_p_.size() - 1)]);
+    }
+    for (const auto& s : samples) cands.push_back(PlanFromSub(s));
+    std::vector<SubQObjectives> objs;
+    objs.reserve(cands.size());
+    for (const auto& tp : cands) {
+      objs.push_back(evaluator_->Evaluate(sq_id, context_, tp,
+                                          StageParams{},
+                                          CardinalitySource::kEstimated,
+                                          &completed));
+    }
+    const size_t best = PickWeighted(objs, opts_.preference, /*hyst=*/0.12);
+    (*theta_p)[sq_id] = cands[best];
+  }
+  last_completed_ = completed;
+  last_theta_p_ = *theta_p;
+}
+
+void RuntimeOptimizer::OnStagesReady(const PhysicalPlan& plan,
+                                     const std::vector<int>& ready,
+                                     const std::vector<SubQuery>& subqs,
+                                     std::vector<StageParams>* theta_s) {
+  const int m = static_cast<int>(subqs.size());
+  if (static_cast<int>(theta_s->size()) == 1 && m > 1) {
+    theta_s->assign(m, theta_s->front());
+  }
+  Rng rng(HashCombine(opts_.seed, 0x5A + stats_.qs_sent));
+  for (int sid : ready) {
+    const auto& st = plan.stages[sid];
+    // Pruning: QS rules rebalance post-shuffle partitions — skip scan
+    // stages and stages below the advisory partition size.
+    if (opts_.enable_pruning &&
+        (st.is_scan_stage || st.input_bytes < 64.0 * 1024 * 1024)) {
+      ++stats_.qs_pruned;
+      continue;
+    }
+    ++stats_.qs_sent;
+    overhead_s_ += opts_.request_overhead_s;
+
+    const int sq_id = std::min(st.subq_id, m - 1);
+    // Evaluate theta_s candidates under the theta_p actually in force for
+    // this stage (from the last collapsed-plan optimization, if any).
+    const PlanParams tp =
+        last_theta_p_.empty()
+            ? PlanParams{}
+            : last_theta_p_[std::min<size_t>(sq_id,
+                                             last_theta_p_.size() - 1)];
+    std::vector<StageParams> cands;
+    cands.push_back((*theta_s)[sq_id]);
+    if (!init_theta_s_.empty()) {
+      cands.push_back(init_theta_s_[std::min<size_t>(
+          sq_id, init_theta_s_.size() - 1)]);
+    }
+    const auto samples = SampleLatinHypercube(
+        StageSpace(), static_cast<size_t>(opts_.theta_s_candidates), &rng,
+        /*margin=*/0.05);
+    for (const auto& s : samples) cands.push_back(StageFromSub(s));
+    std::vector<SubQObjectives> objs;
+    objs.reserve(cands.size());
+    for (const auto& ts : cands) {
+      objs.push_back(evaluator_->Evaluate(
+          sq_id, context_, tp, ts, CardinalitySource::kEstimated,
+          last_completed_.empty() ? nullptr : &last_completed_));
+    }
+    const size_t best = PickWeighted(objs, opts_.preference, /*hyst=*/0.12);
+    (*theta_s)[sq_id] = cands[best];
+  }
+}
+
+void AggregateForSubmission(
+    const std::vector<std::vector<double>>& per_subq_conf,
+    const std::vector<SubQuery>& subqs, PlanParams* theta_p,
+    StageParams* theta_s) {
+  if (per_subq_conf.empty()) return;
+  const auto defaults = DefaultSparkConfig();
+
+  // Median aggregation for the non-threshold parameters.
+  auto median_of = [&](size_t idx) {
+    std::vector<double> vals;
+    vals.reserve(per_subq_conf.size());
+    for (const auto& c : per_subq_conf) {
+      vals.push_back(idx < c.size() ? c[idx] : defaults[idx]);
+    }
+    std::sort(vals.begin(), vals.end());
+    return vals[vals.size() / 2];
+  };
+
+  std::vector<double> agg = defaults;
+  for (size_t i = kAdvisoryPartitionSizeMb; i <= kCoalesceMinPartitionSizeMb;
+       ++i) {
+    agg[i] = median_of(i);
+  }
+
+  // Partition-count parameters aggregate asymmetrically: too few shuffle
+  // partitions on the heaviest stage is catastrophic (oversized spilling
+  // tasks) while too many is mildly wasteful, so s5 takes the maximum
+  // across subQs; likewise scan parallelism uses the smallest split size
+  // and the advisory size keeps the smallest choice so AQE coalescing
+  // stays conservative.
+  auto extreme_of = [&](size_t idx, bool take_max) {
+    double v = take_max ? -1e300 : 1e300;
+    for (const auto& c : per_subq_conf) {
+      const double x = idx < c.size() ? c[idx] : defaults[idx];
+      v = take_max ? std::max(v, x) : std::min(v, x);
+    }
+    return v;
+  };
+  agg[kShufflePartitions] = extreme_of(kShufflePartitions, /*max=*/true);
+  agg[kMaxPartitionBytesMb] =
+      extreme_of(kMaxPartitionBytesMb, /*max=*/false);
+  agg[kAdvisoryPartitionSizeMb] =
+      extreme_of(kAdvisoryPartitionSizeMb, /*max=*/false);
+
+  // Join thresholds: smallest value among join-bearing subQs, floored at
+  // the Spark defaults (Appendix C.2.1) so BHJs on small scan-side inputs
+  // are not missed while overeager compile-time broadcasts are avoided.
+  double min_bc = std::numeric_limits<double>::infinity();
+  double min_shj = std::numeric_limits<double>::infinity();
+  for (const auto& sq : subqs) {
+    if (!sq.has_join) continue;
+    if (sq.id >= static_cast<int>(per_subq_conf.size())) continue;
+    const auto& c = per_subq_conf[sq.id];
+    min_bc = std::min(min_bc, c[kBroadcastJoinThresholdMb]);
+    min_shj = std::min(min_shj, c[kShuffledHashJoinThresholdMb]);
+  }
+  if (std::isfinite(min_bc)) {
+    agg[kBroadcastJoinThresholdMb] =
+        std::max(min_bc, defaults[kBroadcastJoinThresholdMb]);
+  }
+  if (std::isfinite(min_shj)) {
+    agg[kShuffledHashJoinThresholdMb] =
+        std::max(min_shj, defaults[kShuffledHashJoinThresholdMb]);
+  }
+
+  *theta_p = DecodePlan(agg);
+  *theta_s = DecodeStage(agg);
+}
+
+}  // namespace sparkopt

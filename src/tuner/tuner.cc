@@ -1,0 +1,172 @@
+#include "tuner/tuner.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/rng.h"
+#include "moo/baselines.h"
+
+namespace sparkopt {
+
+const char* TuningMethodName(TuningMethod m) {
+  switch (m) {
+    case TuningMethod::kDefault: return "Default";
+    case TuningMethod::kHmooc3: return "HMOOC3";
+    case TuningMethod::kHmooc3Plus: return "HMOOC3+";
+    case TuningMethod::kMoWs: return "MO-WS";
+    case TuningMethod::kSoFixedWeights: return "SO-FW";
+    case TuningMethod::kEvoQuery: return "Evo";
+    case TuningMethod::kPfQuery: return "PF";
+  }
+  return "?";
+}
+
+Result<TuningOutcome> Tuner::RunWithConfig(const Query& query,
+                                           const std::vector<double>& conf,
+                                           bool runtime_opt) const {
+  TuningOutcome out;
+  out.method = TuningMethod::kDefault;
+  out.chosen.conf = conf;
+
+  Simulator sim(opts_.cluster, opts_.cost_params, opts_.prices);
+  AqeDriver driver(&query.plan, &sim);
+  const ContextParams tc = DecodeContext(conf);
+  const PlanParams tp = DecodePlan(conf);
+  const StageParams ts = DecodeStage(conf);
+
+  if (runtime_opt) {
+    SubQEvaluator eval(&query, opts_.cluster, opts_.cost_params,
+                       opts_.prices);
+    RuntimeOptimizerOptions ro = opts_.runtime;
+    ro.preference = opts_.preference;
+    RuntimeOptimizer hooks(&eval, ro);
+    hooks.set_context(tc);
+    auto exec = driver.Run(tc, {tp}, {ts}, &hooks, query.seed);
+    if (!exec.ok()) return exec.status();
+    out.execution = std::move(*exec);
+    out.runtime_stats = hooks.stats();
+    out.runtime_overhead_seconds = hooks.overhead_seconds();
+  } else {
+    auto exec = driver.Run(tc, {tp}, {ts}, nullptr, query.seed);
+    if (!exec.ok()) return exec.status();
+    out.execution = std::move(*exec);
+  }
+  return out;
+}
+
+Result<TuningOutcome> Tuner::Run(const Query& query,
+                                 TuningMethod method) const {
+  if (method == TuningMethod::kDefault) {
+    auto out = RunWithConfig(query, DefaultSparkConfig());
+    if (out.ok()) out->method = TuningMethod::kDefault;
+    return out;
+  }
+
+  // Compile-time objective model.
+  AnalyticSubQModel analytic(&query, opts_.cluster, opts_.cost_params,
+                             opts_.prices);
+  std::unique_ptr<LearnedSubQModel> learned;
+  const SubQObjectiveModel* model = &analytic;
+  if (opts_.learned_subq_model != nullptr &&
+      opts_.learned_subq_model->trained()) {
+    learned = std::make_unique<LearnedSubQModel>(
+        &query, opts_.cluster, opts_.cost_params, opts_.learned_subq_model,
+        opts_.prices);
+    model = learned.get();
+  }
+
+  TuningOutcome out;
+  out.method = method;
+
+  switch (method) {
+    case TuningMethod::kHmooc3:
+    case TuningMethod::kHmooc3Plus: {
+      HmoocOptions ho = opts_.hmooc;
+      ho.seed = HashCombine(opts_.seed, query.seed);
+      HmoocSolver solver(model, ho);
+      out.moo = solver.Solve();
+      break;
+    }
+    case TuningMethod::kMoWs: {
+      FlatProblem flat(model, /*fine_grained=*/false);
+      WsOptions wo = opts_.mo_ws;
+      wo.seed = HashCombine(opts_.seed, query.seed);
+      out.moo = SolveWeightedSum(flat, flat, wo);
+      break;
+    }
+    case TuningMethod::kSoFixedWeights: {
+      FlatProblem flat(model, /*fine_grained=*/false);
+      out.moo = SolveSoFixedWeights(flat, flat, opts_.preference,
+                                    opts_.so_fw_samples,
+                                    HashCombine(opts_.seed, query.seed));
+      break;
+    }
+    case TuningMethod::kEvoQuery: {
+      FlatProblem flat(model, /*fine_grained=*/false);
+      EvoOptions eo = opts_.evo;
+      eo.seed = HashCombine(opts_.seed, query.seed);
+      out.moo = SolveEvo(flat, flat, eo);
+      break;
+    }
+    case TuningMethod::kPfQuery: {
+      FlatProblem flat(model, /*fine_grained=*/false);
+      PfOptions po = opts_.pf;
+      po.seed = HashCombine(opts_.seed, query.seed);
+      out.moo = SolveProgressiveFrontier(flat, flat, po);
+      break;
+    }
+    default:
+      return Status::InvalidArgument("unsupported tuning method");
+  }
+  out.solve_seconds = out.moo.solve_seconds;
+  if (out.moo.pareto.empty()) {
+    return Status::Internal("solver returned an empty Pareto set");
+  }
+
+  // WUN recommendation.
+  const size_t pick = out.moo.Recommend(opts_.preference);
+  out.chosen = out.moo.pareto[pick];
+
+  // Execute. Fine-grained solutions are aggregated into the single
+  // theta_p/theta_s copy Spark accepts at submission.
+  const ContextParams tc = DecodeContext(out.chosen.conf);
+  PlanParams tp = DecodePlan(out.chosen.conf);
+  StageParams ts = DecodeStage(out.chosen.conf);
+  SubQEvaluator eval(&query, opts_.cluster, opts_.cost_params, opts_.prices);
+  if (!out.chosen.per_subq_conf.empty()) {
+    AggregateForSubmission(out.chosen.per_subq_conf, eval.subqueries(), &tp,
+                           &ts);
+  }
+
+  Simulator sim(opts_.cluster, opts_.cost_params, opts_.prices);
+  AqeDriver driver(&query.plan, &sim);
+  if (method == TuningMethod::kHmooc3Plus) {
+    RuntimeOptimizerOptions ro = opts_.runtime;
+    ro.preference = opts_.preference;
+    RuntimeOptimizer hooks(&eval, ro);
+    hooks.set_context(tc);
+    if (!out.chosen.per_subq_conf.empty()) {
+      // Seed runtime re-optimization with the compile-time fine-grained
+      // per-subQ parameters (Appendix C.2.1).
+      std::vector<PlanParams> init_p;
+      std::vector<StageParams> init_s;
+      for (const auto& c : out.chosen.per_subq_conf) {
+        init_p.push_back(DecodePlan(c));
+        init_s.push_back(DecodeStage(c));
+      }
+      hooks.set_compile_time_solution(std::move(init_p), std::move(init_s));
+    }
+    auto exec = driver.Run(tc, {tp}, {ts}, &hooks, query.seed);
+    if (!exec.ok()) return exec.status();
+    out.execution = std::move(*exec);
+    out.runtime_stats = hooks.stats();
+    out.runtime_overhead_seconds = hooks.overhead_seconds();
+  } else {
+    auto exec = driver.Run(tc, {tp}, {ts}, nullptr, query.seed);
+    if (!exec.ok()) return exec.status();
+    out.execution = std::move(*exec);
+  }
+  return out;
+}
+
+}  // namespace sparkopt

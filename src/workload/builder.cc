@@ -1,0 +1,100 @@
+#include "workload/builder.h"
+
+namespace sparkopt {
+
+int PlanBuilder::Scan(int table_id, double selectivity, double row_bytes,
+                      std::vector<std::string> tokens) {
+  LogicalOperator op;
+  op.type = OpType::kScan;
+  op.table_id = table_id;
+  op.selectivity = selectivity;
+  op.out_row_bytes = row_bytes;
+  op.predicate_tokens = std::move(tokens);
+  return plan_.AddOperator(std::move(op));
+}
+
+int PlanBuilder::Filter(int child, double selectivity,
+                        std::vector<std::string> tokens) {
+  LogicalOperator op;
+  op.type = OpType::kFilter;
+  op.children = {child};
+  op.selectivity = selectivity;
+  op.predicate_tokens = std::move(tokens);
+  return plan_.AddOperator(std::move(op));
+}
+
+int PlanBuilder::Project(int child, double row_bytes,
+                         std::vector<std::string> tokens) {
+  LogicalOperator op;
+  op.type = OpType::kProject;
+  op.children = {child};
+  op.out_row_bytes = row_bytes;
+  op.predicate_tokens = std::move(tokens);
+  return plan_.AddOperator(std::move(op));
+}
+
+int PlanBuilder::Join(int left, int right, double factor,
+                      std::vector<std::string> tokens, double skew,
+                      double row_bytes) {
+  LogicalOperator op;
+  op.type = OpType::kJoin;
+  op.children = {left, right};
+  op.cardinality_factor = factor;
+  op.requires_shuffle = true;
+  op.shuffle_skew = skew;
+  op.out_row_bytes = row_bytes;
+  op.predicate_tokens = std::move(tokens);
+  return plan_.AddOperator(std::move(op));
+}
+
+int PlanBuilder::Aggregate(int child, double factor, bool regroup,
+                           std::vector<std::string> tokens,
+                           double row_bytes) {
+  LogicalOperator op;
+  op.type = OpType::kAggregate;
+  op.children = {child};
+  op.cardinality_factor = factor;
+  op.requires_shuffle = regroup;
+  op.out_row_bytes = row_bytes;
+  op.predicate_tokens = std::move(tokens);
+  return plan_.AddOperator(std::move(op));
+}
+
+int PlanBuilder::Sort(int child, std::vector<std::string> tokens) {
+  LogicalOperator op;
+  op.type = OpType::kSort;
+  op.children = {child};
+  op.predicate_tokens = std::move(tokens);
+  return plan_.AddOperator(std::move(op));
+}
+
+int PlanBuilder::Limit(int child, double n) {
+  LogicalOperator op;
+  op.type = OpType::kLimit;
+  op.children = {child};
+  op.cardinality_factor = n;
+  return plan_.AddOperator(std::move(op));
+}
+
+int PlanBuilder::Union(const std::vector<int>& children, double row_bytes) {
+  LogicalOperator op;
+  op.type = OpType::kUnion;
+  op.children = children;
+  op.requires_shuffle = true;
+  op.out_row_bytes = row_bytes;
+  return plan_.AddOperator(std::move(op));
+}
+
+Result<Query> PlanBuilder::Build(const std::vector<TableStats>* catalog,
+                                 const CboErrorModel& error) {
+  SPARKOPT_RETURN_NOT_OK(plan_.Build());
+  Query q;
+  q.name = plan_.name();
+  q.plan = std::move(plan_);
+  q.catalog = catalog;
+  q.seed = error.seed;
+  SPARKOPT_RETURN_NOT_OK(AnnotateCardinalities(*catalog, error, &q.plan));
+  return q;
+}
+
+}  // namespace sparkopt

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "plan/cardinality.h"
+#include "plan/logical_plan.h"
+
+/// \file builder.h
+/// \brief Fluent construction of logical-plan skeletons, plus the Query
+/// wrapper (plan + catalog + cardinality annotation) consumed by the
+/// optimizer and the benchmarks.
+
+namespace sparkopt {
+
+/// \brief A benchmark query: an annotated plan over a catalog.
+struct Query {
+  std::string name;
+  LogicalPlan plan;
+  const std::vector<TableStats>* catalog = nullptr;
+  uint64_t seed = 0;  ///< controls the CBO error draw and simulator noise
+
+  int NumSubQueries() const {
+    return static_cast<int>(plan.DecomposeSubQueries().size());
+  }
+};
+
+/// \brief Incremental plan builder used by the TPC-H/TPC-DS generators.
+///
+/// Each method adds one operator and returns its id. Selectivities and
+/// cardinality factors define the *true* cardinalities; the CBO error
+/// model perturbs them into estimates at annotation time.
+class PlanBuilder {
+ public:
+  explicit PlanBuilder(std::string name) { plan_.set_name(std::move(name)); }
+
+  int Scan(int table_id, double selectivity, double row_bytes,
+           std::vector<std::string> tokens = {});
+  int Filter(int child, double selectivity,
+             std::vector<std::string> tokens = {});
+  int Project(int child, double row_bytes,
+              std::vector<std::string> tokens = {});
+  /// Join with output rows = factor x max(child rows). `skew` in [0,1]
+  /// adds key skew to the shuffle feeding this join.
+  int Join(int left, int right, double factor,
+           std::vector<std::string> tokens = {}, double skew = 0.0,
+           double row_bytes = 96.0);
+  /// Aggregate with output rows = factor x input rows. `regroup` = true
+  /// when grouping keys differ from the input partitioning (the aggregate
+  /// then induces its own shuffle/stage).
+  int Aggregate(int child, double factor, bool regroup,
+                std::vector<std::string> tokens = {}, double row_bytes = 48.0);
+  int Sort(int child, std::vector<std::string> tokens = {});
+  int Limit(int child, double n);
+  int Union(const std::vector<int>& children, double row_bytes = 96.0);
+
+  /// Finalizes the DAG and annotates cardinalities.
+  Result<Query> Build(const std::vector<TableStats>* catalog,
+                      const CboErrorModel& error);
+
+ private:
+  LogicalPlan plan_;
+};
+
+}  // namespace sparkopt

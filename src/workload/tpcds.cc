@@ -1,0 +1,213 @@
+#include "workload/tpcds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sparkopt {
+
+std::vector<TableStats> TpcdsCatalog(double sf) {
+  auto t = [](const char* name, double rows, double row_bytes, double skew) {
+    TableStats s;
+    s.name = name;
+    s.rows = rows;
+    s.row_bytes = row_bytes;
+    s.skew = skew;
+    return s;
+  };
+  return {
+      t("date_dim", 73049, 140, 0.0),
+      t("time_dim", 86400, 80, 0.0),
+      t("item", 2040 * sf, 280, 0.05),
+      t("customer", 20000 * sf, 300, 0.05),
+      t("customer_address", 10000 * sf, 180, 0.05),
+      t("customer_demographics", 1920800, 60, 0.0),
+      t("household_demographics", 7200, 60, 0.0),
+      t("store", 4 * sf + 2, 400, 0.0),
+      t("warehouse", 15, 300, 0.0),
+      t("promotion", 10 * sf, 200, 0.0),
+      t("store_sales", 2880000 * sf, 160, 0.2),
+      t("catalog_sales", 1440000 * sf, 220, 0.15),
+      t("web_sales", 720000 * sf, 220, 0.15),
+      t("store_returns", 288000 * sf, 150, 0.2),
+      t("catalog_returns", 144000 * sf, 160, 0.15),
+      t("web_returns", 72000 * sf, 160, 0.15),
+      t("inventory", 3990000 * sf, 40, 0.0),
+  };
+}
+
+namespace {
+
+struct Gen {
+  Rng rng;
+  bool vary;
+  Rng vary_rng;
+
+  double Sel(double base) {
+    if (!vary) return base;
+    return std::clamp(base * vary_rng.LogNormal(0.0, 0.35), 1e-6, 1.0);
+  }
+  double Fac(double base) {
+    if (!vary) return base;
+    return std::max(base * vary_rng.LogNormal(0.0, 0.3), 1e-7);
+  }
+};
+
+const int kFacts[3] = {kStoreSales, kCatalogSales, kWebSales};
+const int kReturnsOf[3] = {kStoreReturns, kCatalogReturns, kWebReturns};
+const char* kChannelName[3] = {"store", "catalog", "web"};
+
+// Dimension candidates with typical filter selectivities.
+struct DimChoice {
+  int table;
+  const char* token;
+  double sel;
+};
+const DimChoice kDims[] = {
+    {kDateDim, "d_year", 0.05},
+    {kItem, "i_category", 0.1},
+    {kCustomerDs, "c_birth_country", 1.0},
+    {kCustomerAddress, "ca_state", 0.1},
+    {kCustomerDemographics, "cd_gender", 0.3},
+    {kHouseholdDemographics, "hd_dep_count", 0.2},
+    {kStore, "s_state", 0.3},
+    {kPromotion, "p_channel", 0.5},
+    {kTimeDim, "t_hour", 0.2},
+};
+
+// Builds fact scan + `ndims` dimension joins; returns the top join op and
+// the cumulative selectivity that has been applied to the fact.
+int StarBlock(PlanBuilder* b, Gen* g, int channel, int ndims,
+              double fact_sel, double* cumulative_sel) {
+  const auto& rng = g->rng;
+  (void)rng;
+  int fact = b->Scan(kFacts[channel], g->Sel(fact_sel), 180,
+                     {kChannelName[channel], "sales"});
+  double cum = 1.0;
+  int top = fact;
+  // Date dim is always first (every TPC-DS query joins date_dim).
+  std::vector<int> picks = {0};
+  std::vector<int> pool;
+  for (int i = 1; i < static_cast<int>(std::size(kDims)); ++i) {
+    pool.push_back(i);
+  }
+  g->rng.Shuffle(&pool);
+  for (int i = 0; i < ndims - 1 && i < static_cast<int>(pool.size()); ++i) {
+    picks.push_back(pool[i]);
+  }
+  for (int pi : picks) {
+    const auto& d = kDims[pi];
+    const double dsel = g->Sel(d.sel);
+    int dim = b->Scan(d.table, dsel, 160, {d.token});
+    const double skew = d.table == kItem ? 0.3 : 0.0;
+    top = b->Join(top, dim, g->Fac(dsel), {d.token, "_sk"}, skew);
+    cum *= dsel;
+  }
+  *cumulative_sel = cum;
+  return top;
+}
+
+}  // namespace
+
+Result<Query> MakeTpcdsQuery(int qid, const std::vector<TableStats>* catalog,
+                             uint64_t variant) {
+  if (qid < 1 || qid > 102) {
+    return Status::InvalidArgument("TPC-DS query id must be in [1, 102]");
+  }
+  Gen g{Rng(HashCombine(0xD5D5ULL, qid)), variant != 0,
+        Rng(HashCombine(variant, qid * 104729))};
+  PlanBuilder b("TPCDS-Q" + std::to_string(qid));
+
+  // Family mix tuned to the benchmark's structure distribution.
+  const double r = g.rng.Uniform();
+  const int channel = static_cast<int>(g.rng.NextBounded(3));
+
+  if (r < 0.38) {
+    // ---- Family A: star join + rollup (the most common shape) ----
+    const int ndims = 3 + static_cast<int>(g.rng.NextBounded(5));  // 3..7
+    double cum = 1.0;
+    int top = StarBlock(&b, &g, channel, ndims, 1.0, &cum);
+    int agg = b.Aggregate(top, g.Fac(0.002), true,
+                          {"group", "rollup", "sum"});
+    int srt = b.Sort(agg, {"order"});
+    b.Limit(srt, 100);
+  } else if (r < 0.58) {
+    // ---- Family B: snowflake (dimension chains) ----
+    const int ndims = 2 + static_cast<int>(g.rng.NextBounded(3));
+    double cum = 1.0;
+    int top = StarBlock(&b, &g, channel, ndims, 1.0, &cum);
+    // Snowflake arm: customer -> address -> demographics.
+    int c = b.Scan(kCustomerDs, 1.0, 300, {"customer"});
+    int ca = b.Scan(kCustomerAddress, g.Sel(0.12), 180, {"ca_state"});
+    int cd = b.Scan(kCustomerDemographics, g.Sel(0.3), 60, {"cd_gender"});
+    int arm1 = b.Join(c, ca, g.Fac(0.12), {"ca_address_sk"});
+    int arm2 = b.Join(arm1, cd, g.Fac(0.3), {"cd_demo_sk"});
+    int j = b.Join(top, arm2, g.Fac(0.05), {"customer_sk"});
+    int agg = b.Aggregate(j, g.Fac(0.001), true, {"group", "sum"});
+    int srt = b.Sort(agg, {"order"});
+    b.Limit(srt, 100);
+  } else if (r < 0.73) {
+    // ---- Family C: fact-to-fact with returns ----
+    double cum = 1.0;
+    const int ndims = 2 + static_cast<int>(g.rng.NextBounded(3));
+    int top = StarBlock(&b, &g, channel, ndims, 1.0, &cum);
+    int ret = b.Scan(kReturnsOf[channel], g.Sel(0.8), 150,
+                     {kChannelName[channel], "returns"});
+    int d2 = b.Scan(kDateDim, g.Sel(0.08), 140, {"d_year", "returned"});
+    int rj = b.Join(ret, d2, g.Fac(0.08), {"returned_date_sk"});
+    int j = b.Join(top, rj, g.Fac(0.08), {"ticket_number", "item_sk"}, 0.25);
+    int agg = b.Aggregate(j, g.Fac(0.01), true,
+                          {"group", "return_ratio", "sum"});
+    int srt = b.Sort(agg, {"return_ratio"});
+    b.Limit(srt, 100);
+  } else if (r < 0.9) {
+    // ---- Family D: multi-channel union (widest plans, up to ~47 subQs).
+    const int blocks = 2 + static_cast<int>(g.rng.NextBounded(2));  // 2..3
+    std::vector<int> tops;
+    for (int bi = 0; bi < blocks; ++bi) {
+      const int ch = (channel + bi) % 3;
+      const int ndims = 3 + static_cast<int>(g.rng.NextBounded(4));
+      double cum = 1.0;
+      int top = StarBlock(&b, &g, ch, ndims, 1.0, &cum);
+      int agg = b.Aggregate(top, g.Fac(0.004), true,
+                            {"channel", "group", "sum"});
+      tops.push_back(agg);
+    }
+    int u = b.Union(tops, 96);
+    int agg = b.Aggregate(u, g.Fac(0.3), true, {"rollup", "channel"});
+    int srt = b.Sort(agg, {"order"});
+    b.Limit(srt, 100);
+  } else {
+    // ---- Family E: year-over-year self-join report ----
+    std::vector<int> years;
+    for (int yi = 0; yi < 2; ++yi) {
+      const int ndims = 2 + static_cast<int>(g.rng.NextBounded(2));
+      double cum = 1.0;
+      int top = StarBlock(&b, &g, channel, ndims, 1.0, &cum);
+      int agg = b.Aggregate(top, g.Fac(0.003), true,
+                            {"year", yi == 0 ? "curr" : "prev", "sum"});
+      years.push_back(agg);
+    }
+    int j = b.Join(years[0], years[1], g.Fac(0.9), {"yoy", "key"});
+    int f = b.Filter(j, g.Sel(0.1), {"ratio", ">"});
+    int srt = b.Sort(f, {"delta", "desc"});
+    b.Limit(srt, 100);
+  }
+
+  CboErrorModel err;
+  err.seed = HashCombine(0xD5ULL, HashCombine(qid, variant));
+  return b.Build(catalog, err);
+}
+
+std::vector<Query> TpcdsBenchmark(const std::vector<TableStats>* catalog) {
+  std::vector<Query> out;
+  out.reserve(102);
+  for (int q = 1; q <= 102; ++q) {
+    auto r = MakeTpcdsQuery(q, catalog);
+    if (r.ok()) out.push_back(std::move(*r));
+  }
+  return out;
+}
+
+}  // namespace sparkopt

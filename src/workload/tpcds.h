@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "workload/builder.h"
+
+/// \file tpcds.h
+/// \brief TPC-DS-like structural workload.
+///
+/// The paper evaluates on the 102 TPC-DS queries (complex star/snowflake
+/// joins over sales/returns facts, multi-channel unions, up to 47 subQs
+/// per query). Without the official query set offline, we generate 102
+/// skeletons from a seeded structural model whose family mix reproduces
+/// the benchmark's shape statistics: star joins over one of three sales
+/// channels, snowflake dimension chains, fact-to-fact joins with returns,
+/// multi-channel unions, and year-over-year self-join reports.
+
+namespace sparkopt {
+
+/// Table ids in the TPC-DS catalog (indices into TpcdsCatalog()).
+enum TpcdsTable {
+  kDateDim = 0,
+  kTimeDim,
+  kItem,
+  kCustomerDs,
+  kCustomerAddress,
+  kCustomerDemographics,
+  kHouseholdDemographics,
+  kStore,
+  kWarehouse,
+  kPromotion,
+  kStoreSales,
+  kCatalogSales,
+  kWebSales,
+  kStoreReturns,
+  kCatalogReturns,
+  kWebReturns,
+  kInventory,
+  kNumTpcdsTables
+};
+
+/// Base-table statistics at the given scale factor (default SF 100).
+std::vector<TableStats> TpcdsCatalog(double scale_factor = 100.0);
+
+/// \brief Builds TPC-DS-like query `qid` (1-102). `variant` perturbs
+/// selectivities for training workloads (0 = canonical).
+Result<Query> MakeTpcdsQuery(int qid, const std::vector<TableStats>* catalog,
+                             uint64_t variant = 0);
+
+/// All 102 canonical queries.
+std::vector<Query> TpcdsBenchmark(const std::vector<TableStats>* catalog);
+
+}  // namespace sparkopt

@@ -1,0 +1,391 @@
+#include "workload/tpch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sparkopt {
+
+std::vector<TableStats> TpchCatalog(double sf) {
+  auto t = [](const char* name, double rows, double row_bytes, double skew) {
+    TableStats s;
+    s.name = name;
+    s.rows = rows;
+    s.row_bytes = row_bytes;
+    s.skew = skew;
+    return s;
+  };
+  return {
+      t("region", 5, 120, 0.0),
+      t("nation", 25, 120, 0.0),
+      t("supplier", 10000 * sf, 140, 0.0),
+      t("customer", 150000 * sf, 180, 0.05),
+      t("part", 200000 * sf, 150, 0.1),
+      t("partsupp", 800000 * sf, 140, 0.1),
+      t("orders", 1500000 * sf, 110, 0.1),
+      t("lineitem", 6000000 * sf, 120, 0.15),
+  };
+}
+
+namespace {
+
+/// Deterministic selectivity perturbation for training variants.
+class Vary {
+ public:
+  explicit Vary(uint64_t variant) : active_(variant != 0), rng_(variant) {}
+
+  /// Perturbs a selectivity (clamped to (0, 1]).
+  double Sel(double base) {
+    if (!active_) return base;
+    return std::clamp(base * rng_.LogNormal(0.0, 0.35), 1e-6, 1.0);
+  }
+  /// Perturbs a join/aggregate cardinality factor.
+  double Fac(double base) {
+    if (!active_) return base;
+    return std::max(base * rng_.LogNormal(0.0, 0.3), 1e-7);
+  }
+
+ private:
+  bool active_;
+  Rng rng_;
+};
+
+constexpr double kLineBytes = 120, kOrdBytes = 110, kCustBytes = 180,
+                 kPartBytes = 150, kSuppBytes = 140, kPsBytes = 140,
+                 kNatBytes = 120, kRegBytes = 120;
+
+}  // namespace
+
+Result<Query> MakeTpchQuery(int qid, const std::vector<TableStats>* catalog,
+                            uint64_t variant) {
+  if (qid < 1 || qid > 22) {
+    return Status::InvalidArgument("TPC-H query id must be in [1, 22]");
+  }
+  Vary v(variant == 0 ? 0 : HashCombine(variant, qid * 7919));
+  PlanBuilder b("TPCH-Q" + std::to_string(qid));
+
+  switch (qid) {
+    case 1: {  // Pricing summary: big scan + tiny group-by.
+      int li = b.Scan(kLineitem, v.Sel(0.985), kLineBytes,
+                      {"l_shipdate", "<=", "1998-09-02"});
+      int agg = b.Aggregate(li, v.Fac(1e-8), true,
+                            {"l_returnflag", "l_linestatus", "sum", "avg"});
+      b.Sort(agg, {"l_returnflag", "l_linestatus"});
+      break;
+    }
+    case 2: {  // Minimum-cost supplier: snowflake + correlated min.
+      int r = b.Scan(kRegion, v.Sel(0.2), kRegBytes, {"r_name", "EUROPE"});
+      int n = b.Scan(kNation, 1.0, kNatBytes);
+      int s = b.Scan(kSupplier, 1.0, kSuppBytes);
+      int ps = b.Scan(kPartSupp, 1.0, kPsBytes);
+      int p = b.Scan(kPart, v.Sel(0.004), kPartBytes,
+                     {"p_size", "15", "p_type", "like", "BRASS"});
+      int j1 = b.Join(n, r, v.Fac(0.2), {"n_regionkey"});
+      int j2 = b.Join(s, j1, v.Fac(0.2), {"s_nationkey"});
+      int j3 = b.Join(ps, j2, v.Fac(0.2), {"ps_suppkey"});
+      int j4 = b.Join(j3, p, v.Fac(0.004), {"ps_partkey"});
+      int agg = b.Aggregate(j4, v.Fac(0.25), true, {"min", "ps_supplycost"});
+      int j5 = b.Join(j4, agg, v.Fac(0.25), {"min_cost_match"});
+      int srt = b.Sort(j5, {"s_acctbal", "desc"});
+      b.Limit(srt, 100);
+      break;
+    }
+    case 3: {  // Shipping priority: 3 scans, 2 joins, pipelined agg.
+      int c = b.Scan(kCustomer, v.Sel(0.2), kCustBytes,
+                     {"c_mktsegment", "BUILDING"});
+      int o = b.Scan(kOrders, v.Sel(0.48), kOrdBytes,
+                     {"o_orderdate", "<", "1995-03-15"});
+      int li = b.Scan(kLineitem, v.Sel(0.54), kLineBytes,
+                      {"l_shipdate", ">", "1995-03-15"});
+      int j1 = b.Join(c, o, v.Fac(0.2), {"c_custkey"});
+      int j2 = b.Join(j1, li, v.Fac(0.3), {"l_orderkey"});
+      int agg = b.Aggregate(j2, v.Fac(0.6), false,
+                            {"l_orderkey", "sum", "revenue"});
+      int srt = b.Sort(agg, {"revenue", "desc"});
+      b.Limit(srt, 10);
+      break;
+    }
+    case 4: {  // Order priority checking (semi-join).
+      int o = b.Scan(kOrders, v.Sel(0.038), kOrdBytes,
+                     {"o_orderdate", "1993-07", "quarter"});
+      int li = b.Scan(kLineitem, v.Sel(0.63), kLineBytes,
+                      {"l_commitdate", "<", "l_receiptdate"});
+      int j = b.Join(o, li, v.Fac(0.015), {"semi", "l_orderkey"});
+      int agg = b.Aggregate(j, v.Fac(1e-6), true,
+                            {"o_orderpriority", "count"});
+      b.Sort(agg, {"o_orderpriority"});
+      break;
+    }
+    case 5: {  // Local supplier volume: 6 scans, 5 joins.
+      int r = b.Scan(kRegion, v.Sel(0.2), kRegBytes, {"r_name", "ASIA"});
+      int n = b.Scan(kNation, 1.0, kNatBytes);
+      int c = b.Scan(kCustomer, 1.0, kCustBytes);
+      int o = b.Scan(kOrders, v.Sel(0.15), kOrdBytes,
+                     {"o_orderdate", "1994", "year"});
+      int li = b.Scan(kLineitem, 1.0, kLineBytes);
+      int s = b.Scan(kSupplier, 1.0, kSuppBytes);
+      int j1 = b.Join(n, r, v.Fac(0.2), {"n_regionkey"});
+      int j2 = b.Join(c, j1, v.Fac(0.2), {"c_nationkey"});
+      int j3 = b.Join(j2, o, v.Fac(0.03), {"o_custkey"});
+      int j4 = b.Join(j3, li, v.Fac(0.12), {"l_orderkey"}, 0.2);
+      int j5 = b.Join(j4, s, v.Fac(0.04), {"l_suppkey", "nation_match"});
+      int agg = b.Aggregate(j5, v.Fac(1e-6), true, {"n_name", "sum"});
+      b.Sort(agg, {"revenue", "desc"});
+      break;
+    }
+    case 6: {  // Forecasting revenue change: scan + global agg.
+      int li = b.Scan(kLineitem, v.Sel(0.019), kLineBytes,
+                      {"l_shipdate", "1994", "l_discount", "l_quantity"});
+      b.Aggregate(li, v.Fac(1e-9), true, {"sum", "revenue"});
+      break;
+    }
+    case 7: {  // Volume shipping: nation pair analysis.
+      int n1 = b.Scan(kNation, v.Sel(0.08), kNatBytes, {"n_name", "FRANCE"});
+      int n2 = b.Scan(kNation, v.Sel(0.08), kNatBytes, {"n_name", "GERMANY"});
+      int s = b.Scan(kSupplier, 1.0, kSuppBytes);
+      int li = b.Scan(kLineitem, v.Sel(0.3), kLineBytes,
+                      {"l_shipdate", "1995..1996"});
+      int o = b.Scan(kOrders, 1.0, kOrdBytes);
+      int c = b.Scan(kCustomer, 1.0, kCustBytes);
+      int j1 = b.Join(s, n1, v.Fac(0.08), {"s_nationkey"});
+      int j2 = b.Join(li, j1, v.Fac(0.08), {"l_suppkey"}, 0.15);
+      int j3 = b.Join(j2, o, v.Fac(1.0), {"l_orderkey"});
+      int j4 = b.Join(c, n2, v.Fac(0.08), {"c_nationkey"});
+      int j5 = b.Join(j3, j4, v.Fac(0.08), {"o_custkey", "nation_pair"});
+      int agg = b.Aggregate(j5, v.Fac(1e-6), true,
+                            {"supp_nation", "cust_nation", "l_year", "sum"});
+      b.Sort(agg, {"supp_nation", "cust_nation", "l_year"});
+      break;
+    }
+    case 8: {  // National market share: 8 scans, 7 joins.
+      int p = b.Scan(kPart, v.Sel(0.0013), kPartBytes,
+                     {"p_type", "ECONOMY ANODIZED STEEL"});
+      int li = b.Scan(kLineitem, 1.0, kLineBytes);
+      int s = b.Scan(kSupplier, 1.0, kSuppBytes);
+      int o = b.Scan(kOrders, v.Sel(0.3), kOrdBytes,
+                     {"o_orderdate", "1995..1996"});
+      int c = b.Scan(kCustomer, 1.0, kCustBytes);
+      int n1 = b.Scan(kNation, 1.0, kNatBytes);
+      int n2 = b.Scan(kNation, 1.0, kNatBytes);
+      int r = b.Scan(kRegion, v.Sel(0.2), kRegBytes, {"r_name", "AMERICA"});
+      int j1 = b.Join(li, p, v.Fac(0.0013), {"l_partkey"}, 0.3);
+      int j2 = b.Join(j1, s, v.Fac(1.0), {"l_suppkey"});
+      int j3 = b.Join(j2, o, v.Fac(0.3), {"l_orderkey"});
+      int j4 = b.Join(j3, c, v.Fac(1.0), {"o_custkey"});
+      int j5 = b.Join(n1, r, v.Fac(0.2), {"n_regionkey"});
+      int j6 = b.Join(j4, j5, v.Fac(0.2), {"c_nationkey"});
+      int j7 = b.Join(j6, n2, v.Fac(1.0), {"s_nationkey"});
+      int agg = b.Aggregate(j7, v.Fac(1e-5), true,
+                            {"o_year", "sum", "case", "nation"});
+      b.Sort(agg, {"o_year"});
+      break;
+    }
+    case 9: {  // Product type profit: 6 scans, 5 joins, 12 subQs (Fig. 3).
+      int p = b.Scan(kPart, v.Sel(0.054), kPartBytes,
+                     {"p_name", "like", "green"});
+      int li = b.Scan(kLineitem, 1.0, kLineBytes);
+      int s = b.Scan(kSupplier, 1.0, kSuppBytes);
+      int ps = b.Scan(kPartSupp, 1.0, kPsBytes);
+      int o = b.Scan(kOrders, 1.0, kOrdBytes);
+      int n = b.Scan(kNation, 1.0, kNatBytes);
+      int j1 = b.Join(li, p, v.Fac(0.054), {"l_partkey"}, 0.35);
+      int j2 = b.Join(j1, s, v.Fac(1.0), {"l_suppkey"});
+      int j3 = b.Join(j2, ps, v.Fac(1.0), {"ps_partkey", "ps_suppkey"}, 0.2);
+      int j4 = b.Join(j3, o, v.Fac(1.0), {"l_orderkey"});
+      int j5 = b.Join(j4, n, v.Fac(1.0), {"s_nationkey"});
+      int agg = b.Aggregate(j5, v.Fac(1e-5), true,
+                            {"nation", "o_year", "sum", "amount"});
+      b.Sort(agg, {"nation", "o_year", "desc"});
+      break;
+    }
+    case 10: {  // Returned item reporting.
+      int c = b.Scan(kCustomer, 1.0, kCustBytes);
+      int o = b.Scan(kOrders, v.Sel(0.038), kOrdBytes,
+                     {"o_orderdate", "1993-10", "quarter"});
+      int li = b.Scan(kLineitem, v.Sel(0.25), kLineBytes,
+                      {"l_returnflag", "R"});
+      int n = b.Scan(kNation, 1.0, kNatBytes);
+      int j1 = b.Join(c, o, v.Fac(0.038), {"c_custkey"});
+      int j2 = b.Join(j1, li, v.Fac(0.25), {"l_orderkey"});
+      int j3 = b.Join(j2, n, v.Fac(1.0), {"c_nationkey"});
+      int agg = b.Aggregate(j3, v.Fac(0.3), true,
+                            {"c_custkey", "sum", "revenue"});
+      int srt = b.Sort(agg, {"revenue", "desc"});
+      b.Limit(srt, 20);
+      break;
+    }
+    case 11: {  // Important stock identification.
+      int ps = b.Scan(kPartSupp, 1.0, kPsBytes);
+      int s = b.Scan(kSupplier, 1.0, kSuppBytes);
+      int n = b.Scan(kNation, v.Sel(0.04), kNatBytes, {"n_name", "GERMANY"});
+      int j1 = b.Join(s, n, v.Fac(0.04), {"s_nationkey"});
+      int j2 = b.Join(ps, j1, v.Fac(0.04), {"ps_suppkey"});
+      int agg = b.Aggregate(j2, v.Fac(0.3), true,
+                            {"ps_partkey", "sum", "value"});
+      b.Sort(agg, {"value", "desc"});
+      break;
+    }
+    case 12: {  // Shipping modes and order priority.
+      int o = b.Scan(kOrders, 1.0, kOrdBytes);
+      int li = b.Scan(kLineitem, v.Sel(0.013), kLineBytes,
+                      {"l_shipmode", "MAIL", "SHIP", "l_receiptdate"});
+      int j = b.Join(o, li, v.Fac(0.013), {"l_orderkey"});
+      int agg = b.Aggregate(j, v.Fac(1e-7), true,
+                            {"l_shipmode", "count", "case"});
+      b.Sort(agg, {"l_shipmode"});
+      break;
+    }
+    case 13: {  // Customer distribution (left outer join).
+      int c = b.Scan(kCustomer, 1.0, kCustBytes);
+      int o = b.Scan(kOrders, v.Sel(0.98), kOrdBytes,
+                     {"o_comment", "not like", "special requests"});
+      int j = b.Join(c, o, v.Fac(1.0), {"left_outer", "c_custkey"});
+      int a1 = b.Aggregate(j, v.Fac(0.1), true, {"c_custkey", "count"});
+      int a2 = b.Aggregate(a1, v.Fac(0.001), true, {"c_count", "count"});
+      b.Sort(a2, {"custdist", "desc"});
+      break;
+    }
+    case 14: {  // Promotion effect.
+      int li = b.Scan(kLineitem, v.Sel(0.0125), kLineBytes,
+                      {"l_shipdate", "1995-09"});
+      int p = b.Scan(kPart, 1.0, kPartBytes);
+      int j = b.Join(li, p, v.Fac(1.0), {"l_partkey"});
+      b.Aggregate(j, v.Fac(1e-9), true, {"sum", "promo", "case"});
+      break;
+    }
+    case 15: {  // Top supplier (view with agg, then join).
+      int li = b.Scan(kLineitem, v.Sel(0.0375), kLineBytes,
+                      {"l_shipdate", "1996-Q1"});
+      int rev = b.Aggregate(li, v.Fac(0.04), true,
+                            {"l_suppkey", "sum", "total_revenue"});
+      int mx = b.Aggregate(rev, v.Fac(1e-5), true, {"max", "total_revenue"});
+      int s = b.Scan(kSupplier, 1.0, kSuppBytes);
+      int j1 = b.Join(rev, mx, v.Fac(1e-5), {"total_revenue", "=max"});
+      int j2 = b.Join(s, j1, v.Fac(1e-5), {"s_suppkey"});
+      b.Sort(j2, {"s_suppkey"});
+      break;
+    }
+    case 16: {  // Parts/supplier relationship (anti-join).
+      int ps = b.Scan(kPartSupp, 1.0, kPsBytes);
+      int p = b.Scan(kPart, v.Sel(0.1), kPartBytes,
+                     {"p_brand", "<>", "Brand#45", "p_size", "in"});
+      int s = b.Scan(kSupplier, v.Sel(0.0004), kSuppBytes,
+                     {"s_comment", "like", "Complaints"});
+      int j1 = b.Join(ps, p, v.Fac(0.1), {"ps_partkey"});
+      int j2 = b.Join(j1, s, v.Fac(0.999), {"anti", "ps_suppkey"});
+      int agg = b.Aggregate(j2, v.Fac(0.15), true,
+                            {"p_brand", "p_type", "p_size", "count_distinct"});
+      b.Sort(agg, {"supplier_cnt", "desc"});
+      break;
+    }
+    case 17: {  // Small-quantity-order revenue (correlated avg).
+      int li1 = b.Scan(kLineitem, 1.0, kLineBytes);
+      int p = b.Scan(kPart, v.Sel(0.001), kPartBytes,
+                     {"p_brand", "Brand#23", "p_container", "MED BOX"});
+      int j1 = b.Join(li1, p, v.Fac(0.001), {"l_partkey"}, 0.4);
+      int li2 = b.Scan(kLineitem, 1.0, kLineBytes);
+      int avg = b.Aggregate(li2, v.Fac(0.033), true,
+                            {"l_partkey", "avg", "l_quantity"});
+      int j2 = b.Join(j1, avg, v.Fac(0.3), {"l_partkey", "qty<0.2avg"});
+      b.Aggregate(j2, v.Fac(1e-9), true, {"sum", "avg_yearly"});
+      break;
+    }
+    case 18: {  // Large volume customer (top-100 heavy hitter).
+      int li1 = b.Scan(kLineitem, 1.0, kLineBytes);
+      int big = b.Aggregate(li1, v.Fac(0.25), true,
+                            {"l_orderkey", "sum", "l_quantity", ">300"});
+      int f = b.Filter(big, v.Sel(0.0001), {"sum_qty", ">", "300"});
+      int c = b.Scan(kCustomer, 1.0, kCustBytes);
+      int o = b.Scan(kOrders, 1.0, kOrdBytes);
+      int li2 = b.Scan(kLineitem, 1.0, kLineBytes);
+      int j1 = b.Join(o, f, v.Fac(0.0001), {"o_orderkey", "semi"});
+      int j2 = b.Join(c, j1, v.Fac(0.0001), {"c_custkey"});
+      int j3 = b.Join(j2, li2, v.Fac(0.0004), {"l_orderkey"}, 0.3);
+      int agg = b.Aggregate(j3, v.Fac(0.25), false,
+                            {"c_name", "o_orderkey", "sum"});
+      int srt = b.Sort(agg, {"o_totalprice", "desc"});
+      b.Limit(srt, 100);
+      break;
+    }
+    case 19: {  // Discounted revenue (disjunctive predicates).
+      int li = b.Scan(kLineitem, v.Sel(0.002), kLineBytes,
+                      {"l_shipmode", "AIR", "l_quantity", "ranges"});
+      int p = b.Scan(kPart, v.Sel(0.002), kPartBytes,
+                     {"p_brand", "p_container", "p_size", "or"});
+      int j = b.Join(li, p, v.Fac(0.06), {"l_partkey", "disjunction"});
+      b.Aggregate(j, v.Fac(1e-9), true, {"sum", "revenue"});
+      break;
+    }
+    case 20: {  // Potential part promotion (nested semi-joins).
+      int p = b.Scan(kPart, v.Sel(0.01), kPartBytes,
+                     {"p_name", "like", "forest"});
+      int ps = b.Scan(kPartSupp, 1.0, kPsBytes);
+      int li = b.Scan(kLineitem, v.Sel(0.15), kLineBytes,
+                      {"l_shipdate", "1994"});
+      int s = b.Scan(kSupplier, 1.0, kSuppBytes);
+      int n = b.Scan(kNation, v.Sel(0.04), kNatBytes, {"n_name", "CANADA"});
+      int half = b.Aggregate(li, v.Fac(0.12), true,
+                             {"l_partkey", "l_suppkey", "sum", "0.5"});
+      int j1 = b.Join(ps, p, v.Fac(0.01), {"ps_partkey", "semi"});
+      int j2 = b.Join(j1, half, v.Fac(0.005), {"availqty", ">"});
+      int j3 = b.Join(s, n, v.Fac(0.04), {"s_nationkey"});
+      int j4 = b.Join(j3, j2, v.Fac(0.002), {"s_suppkey", "semi"});
+      b.Sort(j4, {"s_name"});
+      break;
+    }
+    case 21: {  // Suppliers who kept orders waiting (3 lineitem passes).
+      int s = b.Scan(kSupplier, 1.0, kSuppBytes);
+      int li1 = b.Scan(kLineitem, v.Sel(0.5), kLineBytes,
+                       {"l_receiptdate", ">", "l_commitdate"});
+      int o = b.Scan(kOrders, v.Sel(0.49), kOrdBytes,
+                     {"o_orderstatus", "F"});
+      int n = b.Scan(kNation, v.Sel(0.04), kNatBytes,
+                     {"n_name", "SAUDI ARABIA"});
+      int li2 = b.Scan(kLineitem, 1.0, kLineBytes);
+      int li3 = b.Scan(kLineitem, v.Sel(0.5), kLineBytes,
+                       {"l_receiptdate", ">", "l_commitdate"});
+      int j1 = b.Join(s, n, v.Fac(0.04), {"s_nationkey"});
+      int j2 = b.Join(li1, j1, v.Fac(0.04), {"l_suppkey"}, 0.25);
+      int j3 = b.Join(j2, o, v.Fac(0.49), {"l_orderkey"});
+      int j4 = b.Join(j3, li2, v.Fac(0.8), {"exists", "other_supp"}, 0.25);
+      int j5 = b.Join(j4, li3, v.Fac(0.4), {"not_exists", "late_supp"});
+      int agg = b.Aggregate(j5, v.Fac(1e-4), true, {"s_name", "count"});
+      int srt = b.Sort(agg, {"numwait", "desc"});
+      b.Limit(srt, 100);
+      break;
+    }
+    case 22: {  // Global sales opportunity (anti-join + global avg).
+      int c1 = b.Scan(kCustomer, v.Sel(0.25), kCustBytes,
+                      {"cntrycode", "in", "7 values"});
+      int c2 = b.Scan(kCustomer, v.Sel(0.25), kCustBytes,
+                      {"c_acctbal", ">", "0"});
+      int avg = b.Aggregate(c2, v.Fac(1e-6), true, {"avg", "c_acctbal"});
+      int o = b.Scan(kOrders, 1.0, kOrdBytes);
+      int j1 = b.Join(c1, avg, v.Fac(0.4), {"c_acctbal", ">avg"});
+      int j2 = b.Join(j1, o, v.Fac(0.3), {"anti", "o_custkey"});
+      int agg = b.Aggregate(j2, v.Fac(1e-6), true,
+                            {"cntrycode", "count", "sum"});
+      b.Sort(agg, {"cntrycode"});
+      break;
+    }
+    default:
+      return Status::Internal("unreachable");
+  }
+
+  CboErrorModel err;
+  err.seed = HashCombine(0x7C9ULL, HashCombine(qid, variant));
+  return b.Build(catalog, err);
+}
+
+std::vector<Query> TpchBenchmark(const std::vector<TableStats>* catalog) {
+  std::vector<Query> out;
+  out.reserve(22);
+  for (int q = 1; q <= 22; ++q) {
+    auto r = MakeTpchQuery(q, catalog);
+    if (r.ok()) out.push_back(std::move(*r));
+  }
+  return out;
+}
+
+}  // namespace sparkopt

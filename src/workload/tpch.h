@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "workload/builder.h"
+
+/// \file tpch.h
+/// \brief Structural TPC-H workload at a configurable scale factor.
+///
+/// Each of the 22 queries is modeled as its logical join/aggregate
+/// skeleton with SF-scaled base-table cardinalities and the approximate
+/// predicate selectivities of the official query parameters. Variant
+/// seeds perturb selectivities/join factors to emulate the paper's 50k
+/// "parametric queries" generated from the same templates.
+
+namespace sparkopt {
+
+/// Table ids in the TPC-H catalog (indices into TpchCatalog()).
+enum TpchTable {
+  kRegion = 0,
+  kNation,
+  kSupplier,
+  kCustomer,
+  kPart,
+  kPartSupp,
+  kOrders,
+  kLineitem,
+  kNumTpchTables
+};
+
+/// Base-table statistics at the given scale factor (default SF 100, as in
+/// the paper).
+std::vector<TableStats> TpchCatalog(double scale_factor = 100.0);
+
+/// \brief Builds TPC-H query `qid` (1-22).
+///
+/// `variant` = 0 gives the canonical template; other values perturb the
+/// selectivities and join factors deterministically (training workloads).
+/// The catalog pointer must outlive the returned Query.
+Result<Query> MakeTpchQuery(int qid, const std::vector<TableStats>* catalog,
+                            uint64_t variant = 0);
+
+/// All 22 canonical queries.
+std::vector<Query> TpchBenchmark(const std::vector<TableStats>* catalog);
+
+}  // namespace sparkopt

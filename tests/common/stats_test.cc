@@ -1,0 +1,74 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace sparkopt {
+namespace {
+
+TEST(MeanTest, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(StdDevTest, KnownValue) {
+  // Population stddev of {2, 4} = 1.
+  EXPECT_DOUBLE_EQ(StdDev({2, 4}), 1.0);
+  EXPECT_DOUBLE_EQ(StdDev({5}), 0.0);
+}
+
+TEST(PercentileTest, Endpoints) {
+  std::vector<double> v = {3, 1, 2};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 2.0);
+}
+
+TEST(PercentileTest, Interpolation) {
+  EXPECT_DOUBLE_EQ(Percentile({0, 10}, 25), 2.5);
+}
+
+TEST(PercentileTest, Empty) { EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0); }
+
+TEST(PearsonTest, PerfectCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {2, 4, 6}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1}, {2}), 0.0);
+}
+
+TEST(WmapeTest, KnownValue) {
+  // |1-2| + |3-3| = 1 over |1|+|3| = 4 -> 0.25.
+  EXPECT_DOUBLE_EQ(Wmape({1, 3}, {2, 3}), 0.25);
+}
+
+TEST(WmapeTest, PerfectPrediction) {
+  EXPECT_DOUBLE_EQ(Wmape({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(WmapeTest, ZeroDenominator) {
+  EXPECT_DOUBLE_EQ(Wmape({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(ApeTest, PerSample) {
+  auto e = AbsolutePercentageErrors({2, 4}, {1, 6});
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_DOUBLE_EQ(e[0], 0.5);
+  EXPECT_DOUBLE_EQ(e[1], 0.5);
+}
+
+TEST(EvaluateAccuracyTest, AllMetricsPopulated) {
+  std::vector<double> y = {1, 2, 3, 4, 5};
+  std::vector<double> p = {1.1, 2.2, 2.7, 4.4, 4.5};
+  auto r = EvaluateAccuracy(y, p);
+  EXPECT_EQ(r.n, 5u);
+  EXPECT_GT(r.wmape, 0.0);
+  EXPECT_LT(r.wmape, 0.2);
+  EXPECT_GT(r.corr, 0.95);
+  EXPECT_GE(r.p90, r.p50);
+}
+
+}  // namespace
+}  // namespace sparkopt

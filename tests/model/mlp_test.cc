@@ -1,0 +1,136 @@
+#include "model/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sparkopt {
+namespace {
+
+TEST(StandardizerTest, ZeroMeanUnitVariance) {
+  Matrix x = {{1, 10}, {3, 30}, {5, 50}};
+  Standardizer s;
+  s.Fit(x);
+  EXPECT_DOUBLE_EQ(s.mean[0], 3.0);
+  EXPECT_DOUBLE_EQ(s.mean[1], 30.0);
+  auto t = s.Transform({3, 30});
+  EXPECT_NEAR(t[0], 0.0, 1e-12);
+  EXPECT_NEAR(t[1], 0.0, 1e-12);
+}
+
+TEST(StandardizerTest, ConstantFeatureDoesNotDivideByZero) {
+  Matrix x = {{7}, {7}, {7}};
+  Standardizer s;
+  s.Fit(x);
+  auto t = s.Transform({7});
+  EXPECT_TRUE(std::isfinite(t[0]));
+}
+
+TEST(MlpTest, OutputShapeMatchesArchitecture) {
+  Mlp net({4, 8, 3}, 1);
+  auto y = net.Predict({1, 2, 3, 4});
+  EXPECT_EQ(y.size(), 3u);
+  EXPECT_EQ(net.input_dim(), 4);
+  EXPECT_EQ(net.output_dim(), 3);
+}
+
+TEST(MlpTest, DeterministicInitialization) {
+  Mlp a({4, 8, 1}, 7);
+  Mlp b({4, 8, 1}, 7);
+  EXPECT_EQ(a.Predict({1, 2, 3, 4}), b.Predict({1, 2, 3, 4}));
+  Mlp c({4, 8, 1}, 8);
+  EXPECT_NE(a.Predict({1, 2, 3, 4}), c.Predict({1, 2, 3, 4}));
+}
+
+TEST(MlpTest, FitRejectsBadShapes) {
+  Mlp net({2, 4, 1}, 1);
+  Mlp::TrainOptions opts;
+  EXPECT_FALSE(net.Fit({}, {}, opts).ok());
+  EXPECT_FALSE(net.Fit({{1, 2, 3}}, {{1}}, opts).ok());
+  EXPECT_FALSE(net.Fit({{1, 2}}, {{1, 2}}, opts).ok());
+}
+
+TEST(MlpTest, LearnsLinearFunction) {
+  Rng rng(3);
+  Matrix x, y;
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.Uniform(-1, 1), b = rng.Uniform(-1, 1);
+    x.push_back({a, b});
+    y.push_back({2 * a - 3 * b + 0.5});
+  }
+  Mlp net({2, 16, 1}, 5);
+  Mlp::TrainOptions opts;
+  opts.epochs = 300;
+  opts.patience = 60;
+  opts.learning_rate = 5e-3;
+  ASSERT_TRUE(net.Fit(x, y, opts).ok());
+  EXPECT_LT(net.Mse(x, y), 0.01);
+}
+
+TEST(MlpTest, LearnsNonlinearFunction) {
+  Rng rng(9);
+  Matrix x, y;
+  for (int i = 0; i < 800; ++i) {
+    const double a = rng.Uniform(-1, 1), b = rng.Uniform(-1, 1);
+    x.push_back({a, b});
+    y.push_back({a * b + 0.3 * a * a});
+  }
+  Mlp net({2, 32, 32, 1}, 5);
+  Mlp::TrainOptions opts;
+  opts.epochs = 300;
+  opts.patience = 60;
+  ASSERT_TRUE(net.Fit(x, y, opts).ok());
+  EXPECT_LT(net.Mse(x, y), 0.01);
+}
+
+TEST(MlpTest, BatchPredictionMatchesSingle) {
+  Mlp net({3, 8, 2}, 11);
+  Matrix x = {{1, 0, -1}, {0.5, 0.5, 0.5}};
+  auto batch = net.PredictBatch(x);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0], net.Predict(x[0]));
+  EXPECT_EQ(batch[1], net.Predict(x[1]));
+}
+
+TEST(RegressorTest, FitsPositiveTargetsInLogSpace) {
+  Rng rng(13);
+  Matrix x, y;
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.Uniform(0, 1);
+    x.push_back({a});
+    y.push_back({std::exp(3 * a)});  // spans 1..20
+  }
+  Regressor reg(1, 1, {16, 16}, 3);
+  Mlp::TrainOptions opts;
+  opts.epochs = 300;
+  opts.patience = 60;
+  ASSERT_TRUE(reg.Fit(x, y, opts).ok());
+  EXPECT_TRUE(reg.trained());
+  double wmape_num = 0, wmape_den = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double p = reg.Predict(x[i])[0];
+    wmape_num += std::fabs(p - y[i][0]);
+    wmape_den += y[i][0];
+  }
+  EXPECT_LT(wmape_num / wmape_den, 0.1);
+}
+
+TEST(RegressorTest, PredictionsNonNegative) {
+  Regressor reg(2, 2, {8}, 1);
+  Matrix x = {{0, 0}, {1, 1}};
+  Matrix y = {{0.1, 0.2}, {0.3, 0.4}};
+  Mlp::TrainOptions opts;
+  opts.epochs = 5;
+  ASSERT_TRUE(reg.Fit(x, y, opts).ok());
+  for (double v : reg.Predict({0.5, 0.5})) EXPECT_GE(v, 0.0);
+}
+
+TEST(RegressorTest, UntrainedByDefault) {
+  Regressor reg;
+  EXPECT_FALSE(reg.trained());
+}
+
+}  // namespace
+}  // namespace sparkopt

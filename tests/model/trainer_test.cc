@@ -1,0 +1,132 @@
+#include "model/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/tpch.h"
+
+namespace sparkopt {
+namespace {
+
+TEST(SplitDatasetTest, EightOneOneProportions) {
+  ModelDataset ds;
+  for (int i = 0; i < 100; ++i) {
+    ds.Append({static_cast<double>(i)}, {1.0});
+  }
+  auto split = SplitDataset(ds, 1);
+  EXPECT_EQ(split.train.size(), 80u);
+  EXPECT_EQ(split.validation.size(), 10u);
+  EXPECT_EQ(split.test.size(), 10u);
+}
+
+TEST(SplitDatasetTest, NoSampleLostOrDuplicated) {
+  ModelDataset ds;
+  for (int i = 0; i < 57; ++i) {
+    ds.Append({static_cast<double>(i)}, {1.0});
+  }
+  auto split = SplitDataset(ds, 2);
+  std::vector<double> seen;
+  for (const auto& r : split.train.x) seen.push_back(r[0]);
+  for (const auto& r : split.validation.x) seen.push_back(r[0]);
+  for (const auto& r : split.test.x) seen.push_back(r[0]);
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), 57u);
+  for (int i = 0; i < 57; ++i) EXPECT_DOUBLE_EQ(seen[i], i);
+}
+
+class TrainerPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new std::vector<TableStats>(TpchCatalog(10));
+    collector_ = new TraceCollector(ClusterSpec{}, CostModelParams{});
+    subq_ = new ModelDataset();
+    qs_ = new ModelDataset();
+    lqp_ = new ModelDataset();
+    TraceOptions opts;
+    opts.runs = 40;
+    opts.seed = 11;
+    auto st = collector_->Collect(
+        [&](int qid, uint64_t v) {
+          return MakeTpchQuery(qid, catalog_, v);
+        },
+        22, opts, subq_, qs_, lqp_);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    delete collector_;
+    delete subq_;
+    delete qs_;
+    delete lqp_;
+  }
+  static std::vector<TableStats>* catalog_;
+  static TraceCollector* collector_;
+  static ModelDataset* subq_;
+  static ModelDataset* qs_;
+  static ModelDataset* lqp_;
+};
+
+std::vector<TableStats>* TrainerPipelineTest::catalog_ = nullptr;
+TraceCollector* TrainerPipelineTest::collector_ = nullptr;
+ModelDataset* TrainerPipelineTest::subq_ = nullptr;
+ModelDataset* TrainerPipelineTest::qs_ = nullptr;
+ModelDataset* TrainerPipelineTest::lqp_ = nullptr;
+
+TEST_F(TrainerPipelineTest, CollectorEmitsAllThreeTargets) {
+  EXPECT_GT(subq_->size(), 100u);
+  EXPECT_EQ(subq_->size(), qs_->size());
+  EXPECT_GT(lqp_->size(), 40u);  // at least one per wave per run
+}
+
+TEST_F(TrainerPipelineTest, TargetsArePositive) {
+  for (const auto& y : subq_->y) {
+    EXPECT_GE(y[0], 0.0);
+    EXPECT_GE(y[1], 0.0);
+  }
+}
+
+TEST_F(TrainerPipelineTest, FeatureDimensionsConsistent) {
+  for (const auto& x : subq_->x) EXPECT_EQ(x.size(), subq_->x[0].size());
+  for (const auto& x : lqp_->x) EXPECT_EQ(x.size(), lqp_->x[0].size());
+  EXPECT_EQ(lqp_->x[0].size(), subq_->x[0].size() + 1);
+}
+
+TEST_F(TrainerPipelineTest, TrainAndEvaluateEndToEnd) {
+  ModelSuite suite;
+  Mlp::TrainOptions opts;
+  opts.epochs = 30;
+  ASSERT_TRUE(suite.Train(*subq_, *qs_, *lqp_, 7, opts).ok());
+  auto perf = suite.Evaluate(suite.subq_model(), *subq_);
+  // Training-set fit: correlation should be clearly positive and WMAPE
+  // bounded (loose bounds: this is a smoke check, not Table 3).
+  EXPECT_GT(perf.latency.corr, 0.5);
+  EXPECT_LT(perf.latency.wmape, 1.0);
+  EXPECT_GT(perf.throughput_per_sec, 1000.0);
+}
+
+TEST_F(TrainerPipelineTest, EmptyDatasetRejected) {
+  ModelSuite suite;
+  ModelDataset empty;
+  EXPECT_FALSE(suite.Train(empty, *qs_, *lqp_, 1).ok());
+}
+
+TEST(TraceCollectorTest, DeterministicAcrossRuns) {
+  auto catalog = TpchCatalog(10);
+  TraceCollector c1(ClusterSpec{}, CostModelParams{});
+  TraceCollector c2(ClusterSpec{}, CostModelParams{});
+  ModelDataset a1, a2, b1, b2, c_1, c_2;
+  TraceOptions opts;
+  opts.runs = 6;
+  opts.seed = 3;
+  auto mk = [&](int qid, uint64_t v) {
+    return MakeTpchQuery(qid, &catalog, v);
+  };
+  ASSERT_TRUE(c1.Collect(mk, 22, opts, &a1, &b1, &c_1).ok());
+  ASSERT_TRUE(c2.Collect(mk, 22, opts, &a2, &b2, &c_2).ok());
+  ASSERT_EQ(a1.size(), a2.size());
+  for (size_t i = 0; i < a1.size(); ++i) {
+    EXPECT_EQ(a1.y[i], a2.y[i]);
+  }
+}
+
+}  // namespace
+}  // namespace sparkopt

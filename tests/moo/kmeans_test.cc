@@ -1,0 +1,74 @@
+#include "moo/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sparkopt {
+namespace {
+
+TEST(KMeansTest, SeparatedClustersFound) {
+  // Three tight blobs far apart.
+  Rng rng(1);
+  std::vector<std::vector<double>> pts;
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 20; ++i) {
+      pts.push_back({centers[c][0] + rng.Normal(0, 0.1),
+                     centers[c][1] + rng.Normal(0, 0.1)});
+    }
+  }
+  auto km = KMeans(pts, 3, 30, 7);
+  ASSERT_EQ(km.centroids.size(), 3u);
+  // Each blob maps to a single cluster.
+  for (int c = 0; c < 3; ++c) {
+    const int first = km.assignment[c * 20];
+    for (int i = 1; i < 20; ++i) {
+      EXPECT_EQ(km.assignment[c * 20 + i], first);
+    }
+  }
+}
+
+TEST(KMeansTest, RepresentativesAreMembers) {
+  Rng rng(5);
+  std::vector<std::vector<double>> pts;
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back({rng.Uniform(), rng.Uniform()});
+  }
+  auto km = KMeans(pts, 8, 20, 3);
+  for (size_t c = 0; c < km.centroids.size(); ++c) {
+    const int rep = km.representative[c];
+    ASSERT_GE(rep, 0);
+    ASSERT_LT(rep, 50);
+  }
+}
+
+TEST(KMeansTest, KLargerThanNClamps) {
+  std::vector<std::vector<double>> pts = {{0, 0}, {1, 1}};
+  auto km = KMeans(pts, 10, 10, 1);
+  EXPECT_LE(km.centroids.size(), 2u);
+}
+
+TEST(KMeansTest, EmptyInputSafe) {
+  auto km = KMeans({}, 3, 10, 1);
+  EXPECT_TRUE(km.centroids.empty());
+}
+
+TEST(KMeansTest, Deterministic) {
+  Rng rng(9);
+  std::vector<std::vector<double>> pts;
+  for (int i = 0; i < 40; ++i) pts.push_back({rng.Uniform(), rng.Uniform()});
+  auto a = KMeans(pts, 5, 20, 11);
+  auto b = KMeans(pts, 5, 20, 11);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.representative, b.representative);
+}
+
+TEST(AssignToCentroidsTest, NearestWins) {
+  std::vector<std::vector<double>> centroids = {{0, 0}, {10, 10}};
+  auto out = AssignToCentroids({{1, 1}, {9, 9}}, centroids);
+  EXPECT_EQ(out, (std::vector<int>{0, 1}));
+}
+
+}  // namespace
+}  // namespace sparkopt

@@ -1,0 +1,99 @@
+#include "moo/objective_models.h"
+
+#include <gtest/gtest.h>
+
+#include "model/trainer.h"
+#include "workload/tpch.h"
+
+namespace sparkopt {
+namespace {
+
+struct Fixture {
+  std::vector<TableStats> catalog = TpchCatalog(10);
+  ClusterSpec cluster;
+  CostModelParams cost;
+  Query q = *MakeTpchQuery(5, &catalog);
+};
+
+TEST(AnalyticSubQModelTest, MatchesEvaluatorDirectly) {
+  Fixture fx;
+  AnalyticSubQModel model(&fx.q, fx.cluster, fx.cost);
+  SubQEvaluator eval(&fx.q, fx.cluster, fx.cost);
+  const auto conf = DefaultSparkConfig();
+  for (int i = 0; i < model.num_subqs(); ++i) {
+    const auto f = model.Evaluate(i, conf);
+    const auto o = eval.Evaluate(i, DecodeContext(conf), DecodePlan(conf),
+                                 DecodeStage(conf),
+                                 CardinalitySource::kEstimated);
+    EXPECT_DOUBLE_EQ(f[0], o.analytical_latency);
+    EXPECT_DOUBLE_EQ(f[1], o.cost);
+  }
+}
+
+TEST(AnalyticSubQModelTest, EvalCounterIncrements) {
+  Fixture fx;
+  AnalyticSubQModel model(&fx.q, fx.cluster, fx.cost);
+  EXPECT_EQ(model.eval_count(), 0u);
+  model.Evaluate(0, DefaultSparkConfig());
+  model.Evaluate(1, DefaultSparkConfig());
+  EXPECT_EQ(model.eval_count(), 2u);
+}
+
+TEST(LearnedSubQModelTest, PredictsFiniteObjectives) {
+  Fixture fx;
+  // Train a tiny model on a handful of traces.
+  TraceCollector collector(fx.cluster, fx.cost);
+  ModelDataset subq, qs, lqp;
+  TraceOptions topts;
+  topts.runs = 25;
+  topts.seed = 9;
+  ASSERT_TRUE(collector
+                  .Collect(
+                      [&](int qid, uint64_t v) {
+                        return MakeTpchQuery(qid, &fx.catalog, v);
+                      },
+                      22, topts, &subq, &qs, &lqp)
+                  .ok());
+  ModelSuite suite;
+  Mlp::TrainOptions mopts;
+  mopts.epochs = 15;
+  ASSERT_TRUE(suite.Train(subq, qs, lqp, 4, mopts).ok());
+
+  LearnedSubQModel model(&fx.q, fx.cluster, fx.cost, &suite.subq_model());
+  for (int i = 0; i < model.num_subqs(); ++i) {
+    const auto f = model.Evaluate(i, DefaultSparkConfig());
+    EXPECT_GT(f[0], 0.0);
+    EXPECT_GT(f[1], 0.0);
+    EXPECT_LT(f[0], 1e7);
+    EXPECT_LT(f[1], 1e7);
+  }
+  EXPECT_GT(model.eval_count(), 0u);
+}
+
+TEST(EvaluateQueryTest, SharesThetaCFromFirstArgument) {
+  Fixture fx;
+  AnalyticSubQModel model(&fx.q, fx.cluster, fx.cost);
+  // Per-subQ confs with garbage theta_c: EvaluateQuery must override the
+  // theta_c block from its first argument.
+  auto theta_c_conf = DefaultSparkConfig();
+  theta_c_conf[kExecutorCores] = 8;
+  theta_c_conf[kExecutorInstances] = 16;
+  std::vector<std::vector<double>> per_subq(
+      model.num_subqs(), DefaultSparkConfig());
+  for (auto& c : per_subq) c[kExecutorCores] = 1;  // would be slow
+
+  const auto combined = model.EvaluateQuery(theta_c_conf, per_subq);
+
+  // Reference: evaluate with the full big-cluster conf directly.
+  double lat = 0;
+  auto big = DefaultSparkConfig();
+  big[kExecutorCores] = 8;
+  big[kExecutorInstances] = 16;
+  for (int i = 0; i < model.num_subqs(); ++i) {
+    lat += model.Evaluate(i, big)[0];
+  }
+  EXPECT_NEAR(combined[0], lat, 1e-9);
+}
+
+}  // namespace
+}  // namespace sparkopt

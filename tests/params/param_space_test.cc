@@ -1,0 +1,111 @@
+#include "params/param_space.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sparkopt {
+namespace {
+
+ParamSpec FloatSpec(double lo, double hi, bool log_scale = false) {
+  ParamSpec s;
+  s.name = "f";
+  s.type = ParamType::kFloat;
+  s.lo = lo;
+  s.hi = hi;
+  s.log_scale = log_scale;
+  s.default_value = lo;
+  return s;
+}
+
+TEST(ParamSpecTest, LinearNormalizeRoundTrip) {
+  auto s = FloatSpec(10, 20);
+  EXPECT_DOUBLE_EQ(s.Normalize(15), 0.5);
+  EXPECT_DOUBLE_EQ(s.Denormalize(0.5), 15);
+  EXPECT_DOUBLE_EQ(s.Denormalize(s.Normalize(17.3)), 17.3);
+}
+
+TEST(ParamSpecTest, LogScaleRoundTrip) {
+  auto s = FloatSpec(1, 1024, /*log=*/true);
+  EXPECT_NEAR(s.Denormalize(0.5), 32.0, 1e-9);
+  EXPECT_NEAR(s.Normalize(32.0), 0.5, 1e-12);
+}
+
+TEST(ParamSpecTest, SanitizeClampsAndRounds) {
+  ParamSpec s = FloatSpec(1, 10);
+  s.type = ParamType::kInt;
+  EXPECT_DOUBLE_EQ(s.Sanitize(3.7), 4.0);
+  EXPECT_DOUBLE_EQ(s.Sanitize(-5), 1.0);
+  EXPECT_DOUBLE_EQ(s.Sanitize(99), 10.0);
+}
+
+TEST(ParamSpecTest, BoolSanitize) {
+  ParamSpec s = FloatSpec(0, 1);
+  s.type = ParamType::kBool;
+  EXPECT_DOUBLE_EQ(s.Sanitize(0.6), 1.0);
+  EXPECT_DOUBLE_EQ(s.Sanitize(0.4), 0.0);
+}
+
+TEST(ParamSpecTest, NormalizeOutOfRangeClamps) {
+  auto s = FloatSpec(0, 10);
+  EXPECT_DOUBLE_EQ(s.Normalize(-1), 0.0);
+  EXPECT_DOUBLE_EQ(s.Normalize(11), 1.0);
+}
+
+ParamSpace TwoDimSpace() {
+  ParamSpec a = FloatSpec(0, 10);
+  a.name = "a";
+  ParamSpec b = FloatSpec(1, 100, /*log=*/true);
+  b.name = "b";
+  b.category = ParamCategory::kPlan;
+  b.default_value = 10;
+  return ParamSpace({a, b});
+}
+
+TEST(ParamSpaceTest, IndexOf) {
+  auto space = TwoDimSpace();
+  EXPECT_EQ(*space.IndexOf("a"), 0u);
+  EXPECT_EQ(*space.IndexOf("b"), 1u);
+  EXPECT_FALSE(space.IndexOf("zzz").ok());
+}
+
+TEST(ParamSpaceTest, SubspaceFiltersByCategory) {
+  auto space = TwoDimSpace();
+  auto plan = space.Subspace(ParamCategory::kPlan);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan.spec(0).name, "b");
+  EXPECT_EQ(space.CategoryIndices(ParamCategory::kPlan),
+            (std::vector<size_t>{1}));
+}
+
+TEST(ParamSpaceTest, DefaultsAreSanitized) {
+  auto d = TwoDimSpace().Defaults();
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_DOUBLE_EQ(d[1], 10.0);
+}
+
+TEST(ParamSpaceTest, VectorNormalizeRoundTrip) {
+  auto space = TwoDimSpace();
+  std::vector<double> raw = {5.0, 10.0};
+  auto unit = space.Normalize(raw);
+  auto back = space.Denormalize(unit);
+  EXPECT_NEAR(back[0], raw[0], 1e-9);
+  EXPECT_NEAR(back[1], raw[1], 1e-9);
+}
+
+TEST(ParamSpaceTest, SanitizeResizesShortVector) {
+  auto space = TwoDimSpace();
+  auto out = space.Sanitize({5.0});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);  // clamped to lo
+}
+
+TEST(ParamSpaceTest, NormalizedDistance) {
+  auto space = TwoDimSpace();
+  const double d = space.NormalizedDistance({0, 1}, {10, 100});
+  EXPECT_NEAR(d, std::sqrt(2.0), 1e-9);
+  EXPECT_DOUBLE_EQ(space.NormalizedDistance({5, 10}, {5, 10}), 0.0);
+}
+
+}  // namespace
+}  // namespace sparkopt

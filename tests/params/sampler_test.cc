@@ -1,0 +1,159 @@
+#include "params/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "params/spark_params.h"
+
+namespace sparkopt {
+namespace {
+
+TEST(SampleUniformTest, CountAndBounds) {
+  Rng rng(1);
+  const auto& space = SparkParamSpace();
+  auto samples = SampleUniform(space, 100, &rng);
+  EXPECT_EQ(samples.size(), 100u);
+  for (const auto& s : samples) {
+    ASSERT_EQ(s.size(), space.size());
+    for (size_t j = 0; j < s.size(); ++j) {
+      EXPECT_GE(s[j], space.spec(j).lo);
+      EXPECT_LE(s[j], space.spec(j).hi);
+    }
+  }
+}
+
+TEST(SampleUniformTest, Deterministic) {
+  Rng a(5), b(5);
+  const auto& space = SparkParamSpace();
+  EXPECT_EQ(SampleUniform(space, 10, &a), SampleUniform(space, 10, &b));
+}
+
+// LHS property: each dimension's samples hit every stratum exactly once.
+class LhsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LhsPropertyTest, StratificationHolds) {
+  Rng rng(GetParam());
+  // Continuous space so strata are exact.
+  std::vector<ParamSpec> specs(4);
+  for (int j = 0; j < 4; ++j) {
+    specs[j].name = "x" + std::to_string(j);
+    // Qualified: gtest's TestWithParam also defines a ParamType member.
+    specs[j].type = ::sparkopt::ParamType::kFloat;
+    specs[j].lo = 0.0;
+    specs[j].hi = 1.0;
+  }
+  ParamSpace space(specs);
+  const size_t n = 32;
+  auto samples = SampleLatinHypercube(space, n, &rng);
+  ASSERT_EQ(samples.size(), n);
+  for (size_t j = 0; j < space.size(); ++j) {
+    std::vector<bool> stratum_hit(n, false);
+    for (const auto& s : samples) {
+      const auto k = static_cast<size_t>(s[j] * n);
+      ASSERT_LT(k, n);
+      EXPECT_FALSE(stratum_hit[k]) << "stratum hit twice in dim " << j;
+      stratum_hit[k] = true;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LhsPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(LhsMarginTest, SamplesStayInsideMargin) {
+  Rng rng(3);
+  std::vector<ParamSpec> specs(2);
+  for (int j = 0; j < 2; ++j) {
+    specs[j].name = "x";
+    specs[j].type = ParamType::kFloat;
+    specs[j].lo = 0.0;
+    specs[j].hi = 1.0;
+  }
+  ParamSpace space(specs);
+  auto samples = SampleLatinHypercube(space, 64, &rng, /*margin=*/0.2);
+  for (const auto& s : samples) {
+    for (double v : s) {
+      EXPECT_GE(v, 0.2 - 1e-12);
+      EXPECT_LE(v, 0.8 + 1e-12);
+    }
+  }
+}
+
+TEST(SampleGridTest, FullFactorialCount) {
+  std::vector<ParamSpec> specs(3);
+  for (int j = 0; j < 3; ++j) {
+    specs[j].name = "x";
+    specs[j].type = ParamType::kFloat;
+    specs[j].lo = 0.0;
+    specs[j].hi = 1.0;
+  }
+  ParamSpace space(specs);
+  auto grid = SampleGrid(space, 2, 1000);
+  EXPECT_EQ(grid.size(), 8u);  // 2^3
+  // Corners only.
+  for (const auto& g : grid) {
+    for (double v : g) {
+      EXPECT_TRUE(v == 0.0 || v == 1.0);
+    }
+  }
+}
+
+TEST(SampleGridTest, CappedByMaxPoints) {
+  std::vector<ParamSpec> specs(5);
+  for (int j = 0; j < 5; ++j) {
+    specs[j].name = "x";
+    specs[j].type = ParamType::kFloat;
+    specs[j].lo = 0.0;
+    specs[j].hi = 1.0;
+  }
+  ParamSpace space(specs);
+  EXPECT_EQ(SampleGrid(space, 3, 50).size(), 50u);
+}
+
+TEST(SampleGridTest, SingleLevelUsesMidpoint) {
+  std::vector<ParamSpec> specs(1);
+  specs[0].name = "x";
+  specs[0].type = ParamType::kFloat;
+  specs[0].lo = 0.0;
+  specs[0].hi = 10.0;
+  ParamSpace space(specs);
+  auto grid = SampleGrid(space, 1, 10);
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_DOUBLE_EQ(grid[0][0], 5.0);
+}
+
+TEST(PerturbTest, StaysInDomainAndMoves) {
+  Rng rng(9);
+  const auto& space = SparkParamSpace();
+  const auto base = space.Defaults();
+  bool moved = false;
+  for (int i = 0; i < 20; ++i) {
+    auto p = Perturb(space, base, 0.1, &rng);
+    for (size_t j = 0; j < p.size(); ++j) {
+      EXPECT_GE(p[j], space.spec(j).lo);
+      EXPECT_LE(p[j], space.spec(j).hi);
+      if (p[j] != base[j]) moved = true;
+    }
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(CrossoverTest, OnePointSwapsSuffix) {
+  std::vector<double> a = {1, 1, 1, 1};
+  std::vector<double> b = {2, 2, 2, 2};
+  auto [c1, c2] = CrossoverOnePoint(a, b, 2);
+  EXPECT_EQ(c1, (std::vector<double>{1, 1, 2, 2}));
+  EXPECT_EQ(c2, (std::vector<double>{2, 2, 1, 1}));
+}
+
+TEST(CrossoverTest, CutBeyondLengthIsIdentity) {
+  std::vector<double> a = {1, 2};
+  std::vector<double> b = {3, 4};
+  auto [c1, c2] = CrossoverOnePoint(a, b, 10);
+  EXPECT_EQ(c1, a);
+  EXPECT_EQ(c2, b);
+}
+
+}  // namespace
+}  // namespace sparkopt

@@ -1,0 +1,113 @@
+#include "params/spark_params.h"
+
+#include <gtest/gtest.h>
+
+namespace sparkopt {
+namespace {
+
+TEST(SparkParamSpaceTest, Has19Parameters) {
+  EXPECT_EQ(SparkParamSpace().size(), 19u);
+  EXPECT_EQ(static_cast<size_t>(kNumSparkParams), 19u);
+}
+
+TEST(SparkParamSpaceTest, CategoryCountsMatchPaper) {
+  const auto& space = SparkParamSpace();
+  EXPECT_EQ(space.CategoryIndices(ParamCategory::kContext).size(), 8u);
+  EXPECT_EQ(space.CategoryIndices(ParamCategory::kPlan).size(), 9u);
+  EXPECT_EQ(space.CategoryIndices(ParamCategory::kStage).size(), 2u);
+}
+
+TEST(SparkParamSpaceTest, NamesMatchSparkConfigs) {
+  const auto& space = SparkParamSpace();
+  EXPECT_EQ(space.spec(kExecutorCores).name, "spark.executor.cores");
+  EXPECT_EQ(space.spec(kShufflePartitions).name,
+            "spark.sql.shuffle.partitions");
+  EXPECT_EQ(
+      space.spec(kCoalesceMinPartitionSizeMb).name,
+      "spark.sql.adaptive.coalescePartitions.minPartitionSize");
+}
+
+TEST(SparkParamSpaceTest, CategoriesAreContiguousBlocks) {
+  // Decoders rely on the theta_c | theta_p | theta_s block layout.
+  const auto& space = SparkParamSpace();
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(space.spec(i).category, ParamCategory::kContext) << i;
+  }
+  for (size_t i = 8; i < 17; ++i) {
+    EXPECT_EQ(space.spec(i).category, ParamCategory::kPlan) << i;
+  }
+  for (size_t i = 17; i < 19; ++i) {
+    EXPECT_EQ(space.spec(i).category, ParamCategory::kStage) << i;
+  }
+}
+
+TEST(DecodeContextTest, RoundTripThroughEncode) {
+  ContextParams c;
+  c.executor_cores = 6;
+  c.executor_memory_gb = 12;
+  c.executor_instances = 10;
+  c.default_parallelism = 128;
+  c.reducer_max_size_in_flight_mb = 96;
+  c.shuffle_bypass_merge_threshold = 300;
+  c.shuffle_compress = false;
+  c.memory_fraction = 0.7;
+  std::vector<double> conf = DefaultSparkConfig();
+  EncodeContext(c, &conf);
+  const ContextParams d = DecodeContext(conf);
+  EXPECT_EQ(d.executor_cores, 6);
+  EXPECT_EQ(d.executor_instances, 10);
+  EXPECT_FALSE(d.shuffle_compress);
+  EXPECT_DOUBLE_EQ(d.memory_fraction, 0.7);
+}
+
+TEST(DecodePlanTest, RoundTripThroughEncode) {
+  PlanParams p;
+  p.broadcast_join_threshold_mb = 42;
+  p.shuffle_partitions = 333;
+  p.advisory_partition_size_mb = 100;
+  std::vector<double> conf = DefaultSparkConfig();
+  EncodePlan(p, &conf);
+  const PlanParams d = DecodePlan(conf);
+  EXPECT_DOUBLE_EQ(d.broadcast_join_threshold_mb, 42);
+  EXPECT_EQ(d.shuffle_partitions, 333);
+  EXPECT_DOUBLE_EQ(d.advisory_partition_size_mb, 100);
+}
+
+TEST(DecodeStageTest, RoundTripThroughEncode) {
+  StageParams s;
+  s.rebalance_small_factor = 0.33;
+  s.coalesce_min_partition_size_mb = 8;
+  std::vector<double> conf = DefaultSparkConfig();
+  EncodeStage(s, &conf);
+  const StageParams d = DecodeStage(conf);
+  EXPECT_DOUBLE_EQ(d.rebalance_small_factor, 0.33);
+  EXPECT_DOUBLE_EQ(d.coalesce_min_partition_size_mb, 8);
+}
+
+TEST(DecodeTest, ShortVectorFallsBackToDefaults) {
+  const ContextParams c = DecodeContext({});
+  EXPECT_EQ(c.executor_cores, 4);  // Spark-ish default in this space
+  EXPECT_EQ(c.executor_instances, 4);
+}
+
+TEST(ContextParamsTest, DerivedQuantities) {
+  ContextParams c;
+  c.executor_cores = 4;
+  c.executor_instances = 3;
+  c.executor_memory_gb = 8;
+  c.memory_fraction = 0.5;
+  EXPECT_EQ(c.TotalCores(), 12);
+  EXPECT_DOUBLE_EQ(c.MemoryPerTaskMb(), 8 * 1024.0 * 0.5 / 4);
+}
+
+TEST(DefaultConfigTest, MatchesSparkDefaults) {
+  const auto d = DefaultSparkConfig();
+  EXPECT_DOUBLE_EQ(d[kShufflePartitions], 200);
+  EXPECT_DOUBLE_EQ(d[kBroadcastJoinThresholdMb], 10);
+  EXPECT_DOUBLE_EQ(d[kShuffledHashJoinThresholdMb], 0);
+  EXPECT_DOUBLE_EQ(d[kMemoryFraction], 0.6);
+  EXPECT_DOUBLE_EQ(d[kShuffleCompress], 1);
+}
+
+}  // namespace
+}  // namespace sparkopt

@@ -1,0 +1,187 @@
+#include "plan/cardinality.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sparkopt {
+namespace {
+
+std::vector<TableStats> Catalog() {
+  TableStats t;
+  t.name = "t";
+  t.rows = 1e6;
+  t.row_bytes = 100;
+  TableStats small = t;
+  small.rows = 1e3;
+  return {t, small};
+}
+
+LogicalPlan ScanFilterPlan(double scan_sel, double filter_sel) {
+  LogicalPlan p;
+  LogicalOperator scan;
+  scan.type = OpType::kScan;
+  scan.table_id = 0;
+  scan.selectivity = scan_sel;
+  scan.out_row_bytes = 100;
+  const int s = p.AddOperator(scan);
+  LogicalOperator f;
+  f.type = OpType::kFilter;
+  f.children = {s};
+  f.selectivity = filter_sel;
+  p.AddOperator(f);
+  return p;
+}
+
+TEST(CardinalityTest, TrueRowsFollowSelectivities) {
+  auto cat = Catalog();
+  auto p = ScanFilterPlan(0.5, 0.1);
+  ASSERT_TRUE(p.Build().ok());
+  CboErrorModel err;
+  ASSERT_TRUE(AnnotateCardinalities(cat, err, &p).ok());
+  EXPECT_DOUBLE_EQ(p.op(0).true_rows, 5e5);
+  EXPECT_DOUBLE_EQ(p.op(1).true_rows, 5e4);
+  EXPECT_DOUBLE_EQ(p.op(1).true_bytes, 5e4 * 64.0);
+}
+
+TEST(CardinalityTest, ZeroErrorModelGivesAccurateScanEstimates) {
+  auto cat = Catalog();
+  auto p = ScanFilterPlan(1.0, 1.0);  // no predicates -> no error applied
+  ASSERT_TRUE(p.Build().ok());
+  CboErrorModel err;
+  ASSERT_TRUE(AnnotateCardinalities(cat, err, &p).ok());
+  EXPECT_DOUBLE_EQ(p.op(0).est_rows, p.op(0).true_rows);
+}
+
+TEST(CardinalityTest, EstimatesDeterministicPerSeed) {
+  auto cat = Catalog();
+  CboErrorModel err;
+  err.seed = 5;
+  auto p1 = ScanFilterPlan(0.5, 0.1);
+  auto p2 = ScanFilterPlan(0.5, 0.1);
+  ASSERT_TRUE(p1.Build().ok());
+  ASSERT_TRUE(p2.Build().ok());
+  ASSERT_TRUE(AnnotateCardinalities(cat, err, &p1).ok());
+  ASSERT_TRUE(AnnotateCardinalities(cat, err, &p2).ok());
+  EXPECT_DOUBLE_EQ(p1.op(1).est_rows, p2.op(1).est_rows);
+}
+
+TEST(CardinalityTest, DifferentSeedsGiveDifferentEstimates) {
+  auto cat = Catalog();
+  auto p1 = ScanFilterPlan(0.5, 0.1);
+  auto p2 = ScanFilterPlan(0.5, 0.1);
+  ASSERT_TRUE(p1.Build().ok());
+  ASSERT_TRUE(p2.Build().ok());
+  CboErrorModel e1, e2;
+  e1.seed = 1;
+  e2.seed = 2;
+  ASSERT_TRUE(AnnotateCardinalities(cat, e1, &p1).ok());
+  ASSERT_TRUE(AnnotateCardinalities(cat, e2, &p2).ok());
+  EXPECT_NE(p1.op(1).est_rows, p2.op(1).est_rows);
+}
+
+// Left-deep join chain; the right side of every join scans the *small*
+// table so the estimate of the left (biased) side stays the maximum.
+LogicalPlan DeepJoinPlan(int levels) {
+  LogicalPlan p;
+  LogicalOperator scan;
+  scan.type = OpType::kScan;
+  scan.table_id = 0;
+  scan.out_row_bytes = 100;
+  int cur = p.AddOperator(scan);
+  for (int i = 0; i < levels; ++i) {
+    LogicalOperator s2 = scan;
+    s2.table_id = 1;
+    const int rhs = p.AddOperator(s2);
+    LogicalOperator j;
+    j.type = OpType::kJoin;
+    j.children = {cur, rhs};
+    j.cardinality_factor = 1.0;
+    j.requires_shuffle = true;
+    j.out_row_bytes = 100;
+    cur = p.AddOperator(j);
+  }
+  return p;
+}
+
+TEST(CardinalityTest, JoinErrorCompoundsWithDepth) {
+  auto cat = Catalog();
+  CboErrorModel err;
+  err.sigma_per_join = 0.0;  // isolate the deterministic bias
+  err.join_bias = 0.8;
+  auto p = DeepJoinPlan(3);
+  ASSERT_TRUE(p.Build().ok());
+  ASSERT_TRUE(AnnotateCardinalities(cat, err, &p).ok());
+  const double ratio = p.op(p.root()).est_rows / p.op(p.root()).true_rows;
+  EXPECT_NEAR(ratio, 0.8 * 0.8 * 0.8, 1e-9);
+}
+
+TEST(CardinalityTest, JoinDepthComputed) {
+  auto p = DeepJoinPlan(3);
+  ASSERT_TRUE(p.Build().ok());
+  EXPECT_EQ(JoinDepth(p, p.root()), 3);
+  EXPECT_EQ(JoinDepth(p, 0), 0);
+}
+
+TEST(CardinalityTest, UnknownTableRejected) {
+  LogicalPlan p;
+  LogicalOperator scan;
+  scan.type = OpType::kScan;
+  scan.table_id = 99;
+  p.AddOperator(scan);
+  ASSERT_TRUE(p.Build().ok());
+  auto cat = Catalog();
+  CboErrorModel err;
+  EXPECT_FALSE(AnnotateCardinalities(cat, err, &p).ok());
+}
+
+TEST(CardinalityTest, LimitCapsRows) {
+  auto cat = Catalog();
+  LogicalPlan p;
+  LogicalOperator scan;
+  scan.type = OpType::kScan;
+  scan.table_id = 0;
+  const int s = p.AddOperator(scan);
+  LogicalOperator lim;
+  lim.type = OpType::kLimit;
+  lim.children = {s};
+  lim.cardinality_factor = 10;
+  p.AddOperator(lim);
+  ASSERT_TRUE(p.Build().ok());
+  CboErrorModel err;
+  ASSERT_TRUE(AnnotateCardinalities(cat, err, &p).ok());
+  EXPECT_DOUBLE_EQ(p.op(1).true_rows, 10.0);
+}
+
+TEST(CardinalityTest, UnionSumsChildren) {
+  auto cat = Catalog();
+  LogicalPlan p;
+  LogicalOperator scan;
+  scan.type = OpType::kScan;
+  scan.table_id = 0;
+  const int a = p.AddOperator(scan);
+  scan.table_id = 1;
+  const int b = p.AddOperator(scan);
+  LogicalOperator u;
+  u.type = OpType::kUnion;
+  u.children = {a, b};
+  u.requires_shuffle = true;
+  p.AddOperator(u);
+  ASSERT_TRUE(p.Build().ok());
+  CboErrorModel err;
+  ASSERT_TRUE(AnnotateCardinalities(cat, err, &p).ok());
+  EXPECT_DOUBLE_EQ(p.op(2).true_rows, 1e6 + 1e3);
+}
+
+TEST(CardinalityTest, RowsNeverBelowOne) {
+  auto cat = Catalog();
+  auto p = ScanFilterPlan(1e-12, 1e-12);
+  ASSERT_TRUE(p.Build().ok());
+  CboErrorModel err;
+  ASSERT_TRUE(AnnotateCardinalities(cat, err, &p).ok());
+  EXPECT_GE(p.op(1).true_rows, 1.0);
+  EXPECT_GE(p.op(1).est_rows, 1.0);
+}
+
+}  // namespace
+}  // namespace sparkopt

@@ -1,0 +1,197 @@
+#include "plan/logical_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace sparkopt {
+namespace {
+
+LogicalOperator Scan(int table) {
+  LogicalOperator op;
+  op.type = OpType::kScan;
+  op.table_id = table;
+  return op;
+}
+
+LogicalOperator Join(int l, int r) {
+  LogicalOperator op;
+  op.type = OpType::kJoin;
+  op.children = {l, r};
+  op.requires_shuffle = true;
+  return op;
+}
+
+LogicalOperator Agg(int child, bool regroup) {
+  LogicalOperator op;
+  op.type = OpType::kAggregate;
+  op.children = {child};
+  op.requires_shuffle = regroup;
+  return op;
+}
+
+TEST(LogicalPlanTest, BuildFindsRootAndTopoOrder) {
+  LogicalPlan p;
+  const int s0 = p.AddOperator(Scan(0));
+  const int s1 = p.AddOperator(Scan(1));
+  const int j = p.AddOperator(Join(s0, s1));
+  ASSERT_TRUE(p.Build().ok());
+  EXPECT_EQ(p.root(), j);
+  const auto& topo = p.TopologicalOrder();
+  // Children precede parents.
+  auto pos = [&](int id) {
+    return std::find(topo.begin(), topo.end(), id) - topo.begin();
+  };
+  EXPECT_LT(pos(s0), pos(j));
+  EXPECT_LT(pos(s1), pos(j));
+}
+
+TEST(LogicalPlanTest, ParentsComputed) {
+  LogicalPlan p;
+  const int s0 = p.AddOperator(Scan(0));
+  const int s1 = p.AddOperator(Scan(1));
+  const int j = p.AddOperator(Join(s0, s1));
+  ASSERT_TRUE(p.Build().ok());
+  EXPECT_EQ(p.Parents(s0), std::vector<int>{j});
+  EXPECT_TRUE(p.Parents(j).empty());
+}
+
+TEST(LogicalPlanTest, EmptyPlanRejected) {
+  LogicalPlan p;
+  EXPECT_FALSE(p.Build().ok());
+}
+
+TEST(LogicalPlanTest, InvalidChildRejected) {
+  LogicalPlan p;
+  LogicalOperator bad;
+  bad.type = OpType::kFilter;
+  bad.children = {7};
+  p.AddOperator(bad);
+  EXPECT_FALSE(p.Build().ok());
+}
+
+TEST(LogicalPlanTest, SelfLoopRejected) {
+  LogicalPlan p;
+  LogicalOperator bad;
+  bad.type = OpType::kFilter;
+  bad.children = {0};
+  p.AddOperator(bad);
+  EXPECT_FALSE(p.Build().ok());
+}
+
+TEST(LogicalPlanTest, MultipleRootsRejected) {
+  LogicalPlan p;
+  p.AddOperator(Scan(0));
+  p.AddOperator(Scan(1));
+  EXPECT_FALSE(p.Build().ok());
+}
+
+TEST(LogicalPlanTest, CycleRejected) {
+  LogicalPlan p;
+  LogicalOperator a, b;
+  a.type = OpType::kFilter;
+  a.children = {1};
+  b.type = OpType::kFilter;
+  b.children = {0};
+  p.AddOperator(a);
+  p.AddOperator(b);
+  EXPECT_FALSE(p.Build().ok());
+}
+
+TEST(LogicalPlanTest, CountOps) {
+  LogicalPlan p;
+  const int s0 = p.AddOperator(Scan(0));
+  const int s1 = p.AddOperator(Scan(1));
+  const int j = p.AddOperator(Join(s0, s1));
+  p.AddOperator(Agg(j, true));
+  ASSERT_TRUE(p.Build().ok());
+  EXPECT_EQ(p.CountOps(OpType::kScan), 2);
+  EXPECT_EQ(p.CountOps(OpType::kJoin), 1);
+  EXPECT_EQ(p.CountOps(OpType::kSort), 0);
+}
+
+// --- subQ decomposition -------------------------------------------------
+
+TEST(SubQueryTest, ScansAndJoinsStartSubqueries) {
+  // 3 scans, 2 joins, pipelined agg => 5 subQs (the TPCH-Q3 shape from
+  // Section 4.1 / Figure 1(b)).
+  LogicalPlan p;
+  const int c = p.AddOperator(Scan(0));
+  const int o = p.AddOperator(Scan(1));
+  const int l = p.AddOperator(Scan(2));
+  const int j1 = p.AddOperator(Join(c, o));
+  const int j2 = p.AddOperator(Join(j1, l));
+  p.AddOperator(Agg(j2, /*regroup=*/false));
+  ASSERT_TRUE(p.Build().ok());
+  const auto subqs = p.DecomposeSubQueries();
+  EXPECT_EQ(subqs.size(), 5u);
+}
+
+TEST(SubQueryTest, RegroupingAggregateGetsOwnSubquery) {
+  LogicalPlan p;
+  const int s = p.AddOperator(Scan(0));
+  p.AddOperator(Agg(s, /*regroup=*/true));
+  ASSERT_TRUE(p.Build().ok());
+  EXPECT_EQ(p.DecomposeSubQueries().size(), 2u);
+}
+
+TEST(SubQueryTest, PipelinedOperatorsShareSubquery) {
+  LogicalPlan p;
+  const int s = p.AddOperator(Scan(0));
+  LogicalOperator f;
+  f.type = OpType::kFilter;
+  f.children = {s};
+  const int fid = p.AddOperator(f);
+  LogicalOperator prj;
+  prj.type = OpType::kProject;
+  prj.children = {fid};
+  p.AddOperator(prj);
+  ASSERT_TRUE(p.Build().ok());
+  const auto subqs = p.DecomposeSubQueries();
+  ASSERT_EQ(subqs.size(), 1u);
+  EXPECT_EQ(subqs[0].op_ids.size(), 3u);
+  EXPECT_TRUE(subqs[0].has_scan);
+}
+
+TEST(SubQueryTest, DependenciesFollowDataFlow) {
+  LogicalPlan p;
+  const int a = p.AddOperator(Scan(0));
+  const int b = p.AddOperator(Scan(1));
+  const int j = p.AddOperator(Join(a, b));
+  ASSERT_TRUE(p.Build().ok());
+  const auto subqs = p.DecomposeSubQueries();
+  ASSERT_EQ(subqs.size(), 3u);
+  // The join subQ depends on both scan subQs.
+  const auto& join_sq = subqs[2];
+  EXPECT_EQ(join_sq.deps.size(), 2u);
+  EXPECT_TRUE(join_sq.has_join);
+  EXPECT_EQ(join_sq.root_op, j);
+}
+
+TEST(SubQueryTest, EveryOperatorAssignedExactlyOnce) {
+  LogicalPlan p;
+  const int a = p.AddOperator(Scan(0));
+  const int b = p.AddOperator(Scan(1));
+  const int j1 = p.AddOperator(Join(a, b));
+  const int g = p.AddOperator(Agg(j1, true));
+  LogicalOperator srt;
+  srt.type = OpType::kSort;
+  srt.children = {g};
+  p.AddOperator(srt);
+  ASSERT_TRUE(p.Build().ok());
+  const auto subqs = p.DecomposeSubQueries();
+  std::vector<int> count(p.num_ops(), 0);
+  for (const auto& sq : subqs) {
+    for (int id : sq.op_ids) ++count[id];
+  }
+  for (int c : count) EXPECT_EQ(c, 1);
+}
+
+TEST(OpTypeNameTest, AllNamed) {
+  EXPECT_STREQ(OpTypeName(OpType::kScan), "Scan");
+  EXPECT_STREQ(OpTypeName(OpType::kJoin), "Join");
+  EXPECT_STREQ(OpTypeName(OpType::kUnion), "Union");
+}
+
+}  // namespace
+}  // namespace sparkopt

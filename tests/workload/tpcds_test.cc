@@ -1,0 +1,100 @@
+#include "workload/tpcds.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace sparkopt {
+namespace {
+
+TEST(TpcdsCatalogTest, TableShapes) {
+  auto cat = TpcdsCatalog(100);
+  ASSERT_EQ(cat.size(), static_cast<size_t>(kNumTpcdsTables));
+  EXPECT_EQ(cat[kStoreSales].name, "store_sales");
+  EXPECT_DOUBLE_EQ(cat[kStoreSales].rows, 2.88e8);
+  EXPECT_DOUBLE_EQ(cat[kDateDim].rows, 73049);
+}
+
+TEST(TpcdsBenchmarkTest, All102QueriesBuild) {
+  auto cat = TpcdsCatalog(100);
+  auto queries = TpcdsBenchmark(&cat);
+  EXPECT_EQ(queries.size(), 102u);
+}
+
+TEST(TpcdsBenchmarkTest, SubQueryDistributionMatchesPaperShape) {
+  auto cat = TpcdsCatalog(100);
+  auto queries = TpcdsBenchmark(&cat);
+  int max_subqs = 0;
+  int over_20 = 0;
+  for (const auto& q : queries) {
+    const int m = q.NumSubQueries();
+    EXPECT_GE(m, 3);
+    max_subqs = std::max(max_subqs, m);
+    if (m > 20) ++over_20;
+  }
+  // The paper reports TPC-DS queries with up to 47 subQs.
+  EXPECT_GE(max_subqs, 30);
+  EXPECT_LE(max_subqs, 50);
+  EXPECT_GE(over_20, 3);  // the multi-channel family exists
+}
+
+TEST(TpcdsBenchmarkTest, EveryQueryJoinsDateDim) {
+  auto cat = TpcdsCatalog(100);
+  for (int qid = 1; qid <= 102; qid += 7) {
+    auto q = *MakeTpcdsQuery(qid, &cat);
+    bool scans_date_dim = false;
+    for (size_t i = 0; i < q.plan.num_ops(); ++i) {
+      const auto& op = q.plan.op(i);
+      if (op.type == OpType::kScan && op.table_id == kDateDim) {
+        scans_date_dim = true;
+      }
+    }
+    EXPECT_TRUE(scans_date_dim) << "Q" << qid;
+  }
+}
+
+TEST(TpcdsBenchmarkTest, QueriesStructurallyDiverse) {
+  auto cat = TpcdsCatalog(100);
+  std::vector<size_t> op_counts;
+  for (int qid = 1; qid <= 30; ++qid) {
+    op_counts.push_back(MakeTpcdsQuery(qid, &cat)->plan.num_ops());
+  }
+  std::sort(op_counts.begin(), op_counts.end());
+  op_counts.erase(std::unique(op_counts.begin(), op_counts.end()),
+                  op_counts.end());
+  EXPECT_GE(op_counts.size(), 5u);
+}
+
+TEST(TpcdsBenchmarkTest, DeterministicPerQueryId) {
+  auto cat = TpcdsCatalog(100);
+  auto a = *MakeTpcdsQuery(42, &cat);
+  auto b = *MakeTpcdsQuery(42, &cat);
+  ASSERT_EQ(a.plan.num_ops(), b.plan.num_ops());
+  for (size_t i = 0; i < a.plan.num_ops(); ++i) {
+    EXPECT_EQ(a.plan.op(i).type, b.plan.op(i).type);
+    EXPECT_DOUBLE_EQ(a.plan.op(i).true_rows, b.plan.op(i).true_rows);
+  }
+}
+
+TEST(TpcdsBenchmarkTest, VariantsPerturbCardinalities) {
+  auto cat = TpcdsCatalog(100);
+  auto base = *MakeTpcdsQuery(10, &cat);
+  auto variant = *MakeTpcdsQuery(10, &cat, /*variant=*/5);
+  ASSERT_EQ(base.plan.num_ops(), variant.plan.num_ops());
+  bool differs = false;
+  for (size_t i = 0; i < base.plan.num_ops(); ++i) {
+    if (base.plan.op(i).true_rows != variant.plan.op(i).true_rows) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(TpcdsBenchmarkTest, InvalidQueryIdRejected) {
+  auto cat = TpcdsCatalog(100);
+  EXPECT_FALSE(MakeTpcdsQuery(0, &cat).ok());
+  EXPECT_FALSE(MakeTpcdsQuery(103, &cat).ok());
+}
+
+}  // namespace
+}  // namespace sparkopt

@@ -1,0 +1,96 @@
+#include "workload/tpch.h"
+
+#include <gtest/gtest.h>
+
+namespace sparkopt {
+namespace {
+
+TEST(TpchCatalogTest, TableShapes) {
+  auto cat = TpchCatalog(100);
+  ASSERT_EQ(cat.size(), static_cast<size_t>(kNumTpchTables));
+  EXPECT_EQ(cat[kLineitem].name, "lineitem");
+  EXPECT_DOUBLE_EQ(cat[kLineitem].rows, 6e8);
+  EXPECT_DOUBLE_EQ(cat[kNation].rows, 25);
+  EXPECT_DOUBLE_EQ(cat[kRegion].rows, 5);
+}
+
+TEST(TpchCatalogTest, ScalesWithScaleFactor) {
+  auto sf1 = TpchCatalog(1);
+  auto sf10 = TpchCatalog(10);
+  EXPECT_DOUBLE_EQ(sf10[kOrders].rows, 10 * sf1[kOrders].rows);
+  // Fixed-size tables do not scale.
+  EXPECT_DOUBLE_EQ(sf10[kNation].rows, sf1[kNation].rows);
+}
+
+class TpchQueryTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::vector<TableStats> catalog_ = TpchCatalog(100);
+};
+
+TEST_P(TpchQueryTest, BuildsAndAnnotates) {
+  auto q = MakeTpchQuery(GetParam(), &catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->name, "TPCH-Q" + std::to_string(GetParam()));
+  EXPECT_GT(q->plan.num_ops(), 1u);
+  for (size_t i = 0; i < q->plan.num_ops(); ++i) {
+    EXPECT_GE(q->plan.op(i).true_rows, 1.0);
+    EXPECT_GE(q->plan.op(i).est_rows, 1.0);
+  }
+}
+
+TEST_P(TpchQueryTest, SubQueryCountInPlausibleRange) {
+  auto q = *MakeTpchQuery(GetParam(), &catalog_);
+  const int subqs = q.NumSubQueries();
+  EXPECT_GE(subqs, 2);
+  EXPECT_LE(subqs, 16);
+}
+
+TEST_P(TpchQueryTest, VariantsPerturbButPreserveStructure) {
+  auto base = *MakeTpchQuery(GetParam(), &catalog_);
+  auto variant = *MakeTpchQuery(GetParam(), &catalog_, /*variant=*/77);
+  EXPECT_EQ(base.plan.num_ops(), variant.plan.num_ops());
+  EXPECT_EQ(base.NumSubQueries(), variant.NumSubQueries());
+  // Some cardinality must differ.
+  bool differs = false;
+  for (size_t i = 0; i < base.plan.num_ops(); ++i) {
+    if (base.plan.op(i).true_rows != variant.plan.op(i).true_rows) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpchQueryTest, ::testing::Range(1, 23));
+
+TEST(TpchBenchmarkTest, All22QueriesBuild) {
+  auto cat = TpchCatalog(100);
+  auto queries = TpchBenchmark(&cat);
+  EXPECT_EQ(queries.size(), 22u);
+}
+
+TEST(TpchBenchmarkTest, KnownSubQueryCounts) {
+  auto cat = TpchCatalog(100);
+  // Shapes called out in the paper: Q3 has 5 subQs (Figure 1(b)), Q9 has
+  // 12 subQs (Figure 3).
+  EXPECT_EQ(MakeTpchQuery(3, &cat)->NumSubQueries(), 5);
+  EXPECT_EQ(MakeTpchQuery(9, &cat)->NumSubQueries(), 12);
+}
+
+TEST(TpchBenchmarkTest, InvalidQueryIdRejected) {
+  auto cat = TpchCatalog(100);
+  EXPECT_FALSE(MakeTpchQuery(0, &cat).ok());
+  EXPECT_FALSE(MakeTpchQuery(23, &cat).ok());
+}
+
+TEST(TpchBenchmarkTest, DeterministicConstruction) {
+  auto cat = TpchCatalog(100);
+  auto a = *MakeTpchQuery(5, &cat);
+  auto b = *MakeTpchQuery(5, &cat);
+  ASSERT_EQ(a.plan.num_ops(), b.plan.num_ops());
+  for (size_t i = 0; i < a.plan.num_ops(); ++i) {
+    EXPECT_DOUBLE_EQ(a.plan.op(i).est_rows, b.plan.op(i).est_rows);
+  }
+}
+
+}  // namespace
+}  // namespace sparkopt
