@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analytical_latency.dir/bench_analytical_latency.cc.o"
+  "CMakeFiles/bench_analytical_latency.dir/bench_analytical_latency.cc.o.d"
+  "bench_analytical_latency"
+  "bench_analytical_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analytical_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

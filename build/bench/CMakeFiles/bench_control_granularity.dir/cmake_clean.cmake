@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_control_granularity.dir/bench_control_granularity.cc.o"
+  "CMakeFiles/bench_control_granularity.dir/bench_control_granularity.cc.o.d"
+  "bench_control_granularity"
+  "bench_control_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_control_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

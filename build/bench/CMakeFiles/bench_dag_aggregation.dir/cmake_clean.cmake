@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dag_aggregation.dir/bench_dag_aggregation.cc.o"
+  "CMakeFiles/bench_dag_aggregation.dir/bench_dag_aggregation.cc.o.d"
+  "bench_dag_aggregation"
+  "bench_dag_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dag_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

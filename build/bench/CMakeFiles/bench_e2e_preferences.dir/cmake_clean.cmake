@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2e_preferences.dir/bench_e2e_preferences.cc.o"
+  "CMakeFiles/bench_e2e_preferences.dir/bench_e2e_preferences.cc.o.d"
+  "bench_e2e_preferences"
+  "bench_e2e_preferences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2e_preferences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

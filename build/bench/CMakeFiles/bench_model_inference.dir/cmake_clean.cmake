@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_inference.dir/bench_model_inference.cc.o"
+  "CMakeFiles/bench_model_inference.dir/bench_model_inference.cc.o.d"
+  "bench_model_inference"
+  "bench_model_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_moo_comparison.dir/bench_moo_comparison.cc.o"
+  "CMakeFiles/bench_moo_comparison.dir/bench_moo_comparison.cc.o.d"
+  "bench_moo_comparison"
+  "bench_moo_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_moo_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

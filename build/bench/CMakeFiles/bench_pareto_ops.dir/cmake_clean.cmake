@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pareto_ops.dir/bench_pareto_ops.cc.o"
+  "CMakeFiles/bench_pareto_ops.dir/bench_pareto_ops.cc.o.d"
+  "bench_pareto_ops"
+  "bench_pareto_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pareto_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

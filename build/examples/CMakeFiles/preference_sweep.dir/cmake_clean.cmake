@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preference_sweep.dir/preference_sweep.cpp.o"
+  "CMakeFiles/preference_sweep.dir/preference_sweep.cpp.o.d"
+  "preference_sweep"
+  "preference_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preference_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparkopt_common.dir/logging.cc.o"
+  "CMakeFiles/sparkopt_common.dir/logging.cc.o.d"
+  "CMakeFiles/sparkopt_common.dir/pareto.cc.o"
+  "CMakeFiles/sparkopt_common.dir/pareto.cc.o.d"
+  "CMakeFiles/sparkopt_common.dir/stats.cc.o"
+  "CMakeFiles/sparkopt_common.dir/stats.cc.o.d"
+  "libsparkopt_common.a"
+  "libsparkopt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparkopt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

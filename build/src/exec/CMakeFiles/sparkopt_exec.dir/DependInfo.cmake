@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/aqe.cc" "src/exec/CMakeFiles/sparkopt_exec.dir/aqe.cc.o" "gcc" "src/exec/CMakeFiles/sparkopt_exec.dir/aqe.cc.o.d"
+  "/root/repo/src/exec/cost_model.cc" "src/exec/CMakeFiles/sparkopt_exec.dir/cost_model.cc.o" "gcc" "src/exec/CMakeFiles/sparkopt_exec.dir/cost_model.cc.o.d"
+  "/root/repo/src/exec/simulator.cc" "src/exec/CMakeFiles/sparkopt_exec.dir/simulator.cc.o" "gcc" "src/exec/CMakeFiles/sparkopt_exec.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/physical/CMakeFiles/sparkopt_physical.dir/DependInfo.cmake"
+  "/root/repo/build/src/params/CMakeFiles/sparkopt_params.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/sparkopt_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sparkopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparkopt_exec.dir/aqe.cc.o"
+  "CMakeFiles/sparkopt_exec.dir/aqe.cc.o.d"
+  "CMakeFiles/sparkopt_exec.dir/cost_model.cc.o"
+  "CMakeFiles/sparkopt_exec.dir/cost_model.cc.o.d"
+  "CMakeFiles/sparkopt_exec.dir/simulator.cc.o"
+  "CMakeFiles/sparkopt_exec.dir/simulator.cc.o.d"
+  "libsparkopt_exec.a"
+  "libsparkopt_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparkopt_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsparkopt_exec.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparkopt_model.dir/features.cc.o"
+  "CMakeFiles/sparkopt_model.dir/features.cc.o.d"
+  "CMakeFiles/sparkopt_model.dir/mlp.cc.o"
+  "CMakeFiles/sparkopt_model.dir/mlp.cc.o.d"
+  "CMakeFiles/sparkopt_model.dir/subq_evaluator.cc.o"
+  "CMakeFiles/sparkopt_model.dir/subq_evaluator.cc.o.d"
+  "CMakeFiles/sparkopt_model.dir/trainer.cc.o"
+  "CMakeFiles/sparkopt_model.dir/trainer.cc.o.d"
+  "libsparkopt_model.a"
+  "libsparkopt_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparkopt_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

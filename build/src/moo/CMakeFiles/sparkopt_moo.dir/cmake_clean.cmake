@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparkopt_moo.dir/baselines.cc.o"
+  "CMakeFiles/sparkopt_moo.dir/baselines.cc.o.d"
+  "CMakeFiles/sparkopt_moo.dir/hmooc.cc.o"
+  "CMakeFiles/sparkopt_moo.dir/hmooc.cc.o.d"
+  "CMakeFiles/sparkopt_moo.dir/kmeans.cc.o"
+  "CMakeFiles/sparkopt_moo.dir/kmeans.cc.o.d"
+  "CMakeFiles/sparkopt_moo.dir/objective_models.cc.o"
+  "CMakeFiles/sparkopt_moo.dir/objective_models.cc.o.d"
+  "CMakeFiles/sparkopt_moo.dir/problem.cc.o"
+  "CMakeFiles/sparkopt_moo.dir/problem.cc.o.d"
+  "libsparkopt_moo.a"
+  "libsparkopt_moo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparkopt_moo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

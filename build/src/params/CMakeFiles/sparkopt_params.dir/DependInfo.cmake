@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/params/param_space.cc" "src/params/CMakeFiles/sparkopt_params.dir/param_space.cc.o" "gcc" "src/params/CMakeFiles/sparkopt_params.dir/param_space.cc.o.d"
+  "/root/repo/src/params/sampler.cc" "src/params/CMakeFiles/sparkopt_params.dir/sampler.cc.o" "gcc" "src/params/CMakeFiles/sparkopt_params.dir/sampler.cc.o.d"
+  "/root/repo/src/params/spark_params.cc" "src/params/CMakeFiles/sparkopt_params.dir/spark_params.cc.o" "gcc" "src/params/CMakeFiles/sparkopt_params.dir/spark_params.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sparkopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

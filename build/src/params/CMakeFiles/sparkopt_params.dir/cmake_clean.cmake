@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparkopt_params.dir/param_space.cc.o"
+  "CMakeFiles/sparkopt_params.dir/param_space.cc.o.d"
+  "CMakeFiles/sparkopt_params.dir/sampler.cc.o"
+  "CMakeFiles/sparkopt_params.dir/sampler.cc.o.d"
+  "CMakeFiles/sparkopt_params.dir/spark_params.cc.o"
+  "CMakeFiles/sparkopt_params.dir/spark_params.cc.o.d"
+  "libsparkopt_params.a"
+  "libsparkopt_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparkopt_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/physical/physical_plan.cc" "src/physical/CMakeFiles/sparkopt_physical.dir/physical_plan.cc.o" "gcc" "src/physical/CMakeFiles/sparkopt_physical.dir/physical_plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sparkopt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/params/CMakeFiles/sparkopt_params.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/sparkopt_plan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparkopt_physical.dir/physical_plan.cc.o"
+  "CMakeFiles/sparkopt_physical.dir/physical_plan.cc.o.d"
+  "libsparkopt_physical.a"
+  "libsparkopt_physical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparkopt_physical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparkopt_plan.dir/cardinality.cc.o"
+  "CMakeFiles/sparkopt_plan.dir/cardinality.cc.o.d"
+  "CMakeFiles/sparkopt_plan.dir/logical_plan.cc.o"
+  "CMakeFiles/sparkopt_plan.dir/logical_plan.cc.o.d"
+  "libsparkopt_plan.a"
+  "libsparkopt_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparkopt_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

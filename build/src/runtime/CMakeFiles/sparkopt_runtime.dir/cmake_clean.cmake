@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparkopt_runtime.dir/runtime_optimizer.cc.o"
+  "CMakeFiles/sparkopt_runtime.dir/runtime_optimizer.cc.o.d"
+  "libsparkopt_runtime.a"
+  "libsparkopt_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparkopt_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

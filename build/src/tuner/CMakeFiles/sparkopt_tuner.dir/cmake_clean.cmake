@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparkopt_tuner.dir/tuner.cc.o"
+  "CMakeFiles/sparkopt_tuner.dir/tuner.cc.o.d"
+  "libsparkopt_tuner.a"
+  "libsparkopt_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparkopt_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

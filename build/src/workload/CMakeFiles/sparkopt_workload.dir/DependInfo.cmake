@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/builder.cc" "src/workload/CMakeFiles/sparkopt_workload.dir/builder.cc.o" "gcc" "src/workload/CMakeFiles/sparkopt_workload.dir/builder.cc.o.d"
+  "/root/repo/src/workload/tpcds.cc" "src/workload/CMakeFiles/sparkopt_workload.dir/tpcds.cc.o" "gcc" "src/workload/CMakeFiles/sparkopt_workload.dir/tpcds.cc.o.d"
+  "/root/repo/src/workload/tpch.cc" "src/workload/CMakeFiles/sparkopt_workload.dir/tpch.cc.o" "gcc" "src/workload/CMakeFiles/sparkopt_workload.dir/tpch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plan/CMakeFiles/sparkopt_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sparkopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

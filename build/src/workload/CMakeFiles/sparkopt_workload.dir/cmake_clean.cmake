@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparkopt_workload.dir/builder.cc.o"
+  "CMakeFiles/sparkopt_workload.dir/builder.cc.o.d"
+  "CMakeFiles/sparkopt_workload.dir/tpcds.cc.o"
+  "CMakeFiles/sparkopt_workload.dir/tpcds.cc.o.d"
+  "CMakeFiles/sparkopt_workload.dir/tpch.cc.o"
+  "CMakeFiles/sparkopt_workload.dir/tpch.cc.o.d"
+  "libsparkopt_workload.a"
+  "libsparkopt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparkopt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

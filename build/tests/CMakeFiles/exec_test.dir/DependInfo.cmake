@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exec/aqe_test.cc" "tests/CMakeFiles/exec_test.dir/exec/aqe_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/aqe_test.cc.o.d"
+  "/root/repo/tests/exec/cost_model_test.cc" "tests/CMakeFiles/exec_test.dir/exec/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/cost_model_test.cc.o.d"
+  "/root/repo/tests/exec/cost_property_test.cc" "tests/CMakeFiles/exec_test.dir/exec/cost_property_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/cost_property_test.cc.o.d"
+  "/root/repo/tests/exec/simulator_test.cc" "tests/CMakeFiles/exec_test.dir/exec/simulator_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/simulator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuner/CMakeFiles/sparkopt_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sparkopt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/moo/CMakeFiles/sparkopt_moo.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/sparkopt_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sparkopt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/sparkopt_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/physical/CMakeFiles/sparkopt_physical.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/sparkopt_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/params/CMakeFiles/sparkopt_params.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sparkopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moo_test.dir/moo/baselines_test.cc.o"
+  "CMakeFiles/moo_test.dir/moo/baselines_test.cc.o.d"
+  "CMakeFiles/moo_test.dir/moo/hmooc_test.cc.o"
+  "CMakeFiles/moo_test.dir/moo/hmooc_test.cc.o.d"
+  "CMakeFiles/moo_test.dir/moo/kmeans_test.cc.o"
+  "CMakeFiles/moo_test.dir/moo/kmeans_test.cc.o.d"
+  "CMakeFiles/moo_test.dir/moo/moo_property_test.cc.o"
+  "CMakeFiles/moo_test.dir/moo/moo_property_test.cc.o.d"
+  "CMakeFiles/moo_test.dir/moo/objective_models_test.cc.o"
+  "CMakeFiles/moo_test.dir/moo/objective_models_test.cc.o.d"
+  "moo_test"
+  "moo_test.pdb"
+  "moo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/params_test.dir/params/param_space_test.cc.o"
+  "CMakeFiles/params_test.dir/params/param_space_test.cc.o.d"
+  "CMakeFiles/params_test.dir/params/sampler_test.cc.o"
+  "CMakeFiles/params_test.dir/params/sampler_test.cc.o.d"
+  "CMakeFiles/params_test.dir/params/spark_params_test.cc.o"
+  "CMakeFiles/params_test.dir/params/spark_params_test.cc.o.d"
+  "params_test"
+  "params_test.pdb"
+  "params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
