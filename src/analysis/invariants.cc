@@ -1,0 +1,64 @@
+#include "analysis/invariants.h"
+
+#include "common/check.h"
+
+namespace sparkopt {
+namespace analysis {
+
+namespace {
+
+void DieOnViolations(const VerifyReport& report) {
+  SPARKOPT_CHECK(report.ok()) << "\n" << report.ToString();
+}
+
+}  // namespace
+
+void CheckLogicalPlanOrDie(const LogicalPlan& plan,
+                           const std::vector<TableStats>* catalog,
+                           const std::vector<SubQuery>* subqs,
+                           const char* site) {
+  VerifyInput in;
+  in.logical_plan = &plan;
+  in.catalog = catalog;
+  in.subqs = subqs;
+  in.site = site;
+  auto report = VerifierRegistry::BuiltIn().Run("logical_plan", in);
+  SPARKOPT_CHECK(report.ok()) << report.status().ToString();
+  DieOnViolations(*report);
+}
+
+void CheckPhysicalPlanOrDie(const PhysicalPlan& pplan,
+                            const LogicalPlan* lplan, const char* site) {
+  VerifyInput in;
+  in.physical_plan = &pplan;
+  in.logical_plan = lplan;
+  in.site = site;
+  auto report = VerifierRegistry::BuiltIn().Run("physical_plan", in);
+  SPARKOPT_CHECK(report.ok()) << report.status().ToString();
+  DieOnViolations(*report);
+}
+
+void CheckFrontOrDie(const std::vector<ObjectiveVector>& front,
+                     const char* site) {
+  VerifyInput in;
+  in.front = &front;
+  in.site = site;
+  auto report = VerifierRegistry::BuiltIn().Run("pareto_front", in);
+  SPARKOPT_CHECK(report.ok()) << report.status().ToString();
+  DieOnViolations(*report);
+}
+
+void CheckTraceOrDie(const QueryExecution& exec, const PhysicalPlan* pplan,
+                     int total_cores, const char* site) {
+  VerifyInput in;
+  in.execution = &exec;
+  in.physical_plan = pplan;
+  in.total_cores = total_cores;
+  in.site = site;
+  auto report = VerifierRegistry::BuiltIn().Run("execution_trace", in);
+  SPARKOPT_CHECK(report.ok()) << report.status().ToString();
+  DieOnViolations(*report);
+}
+
+}  // namespace analysis
+}  // namespace sparkopt

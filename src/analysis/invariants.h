@@ -1,0 +1,64 @@
+#pragma once
+
+#include <vector>
+
+#include "analysis/verifier.h"
+
+/// \file invariants.h
+/// \brief Hot-path entry points for invariant verification.
+///
+/// Producers (physical planner, AQE driver, simulator, HMOOC, tuner) call
+/// the SPARKOPT_VERIFY_* macros at the points where they hand a freshly
+/// built artifact downstream. Under the SPARKOPT_VERIFY CMake option the
+/// macros run the matching verifier pass and abort with the full
+/// violation report when an invariant is broken — a silent violation
+/// would corrupt every downstream WUN recommendation. Without the option
+/// they compile to nothing, so Release benches pay zero cost.
+///
+/// The Check* functions are always compiled (tests call them directly);
+/// only the macro call sites are gated.
+
+namespace sparkopt {
+namespace analysis {
+
+/// Dies with the report when `plan` (and optionally its subQ
+/// decomposition / catalog) violates the logical-plan invariants.
+void CheckLogicalPlanOrDie(const LogicalPlan& plan,
+                           const std::vector<TableStats>* catalog,
+                           const std::vector<SubQuery>* subqs,
+                           const char* site);
+
+/// Dies with the report when `pplan` is not a well-formed stage DAG
+/// covering `lplan` (pass nullptr to skip coverage checks).
+void CheckPhysicalPlanOrDie(const PhysicalPlan& pplan,
+                            const LogicalPlan* lplan, const char* site);
+
+/// Dies with the report when `front` is not mutually non-dominated with
+/// finite objectives.
+void CheckFrontOrDie(const std::vector<ObjectiveVector>& front,
+                     const char* site);
+
+/// Dies with the report when `exec` violates the trace invariants.
+/// `pplan` (nullable) enables dependency-ordering checks on single-wave
+/// traces; `total_cores` > 0 enables analytical-latency consistency.
+void CheckTraceOrDie(const QueryExecution& exec, const PhysicalPlan* pplan,
+                     int total_cores, const char* site);
+
+}  // namespace analysis
+}  // namespace sparkopt
+
+#ifdef SPARKOPT_VERIFY
+#define SPARKOPT_VERIFY_LOGICAL(plan, catalog, subqs, site) \
+  ::sparkopt::analysis::CheckLogicalPlanOrDie(plan, catalog, subqs, site)
+#define SPARKOPT_VERIFY_PHYSICAL(pplan, lplan, site) \
+  ::sparkopt::analysis::CheckPhysicalPlanOrDie(pplan, lplan, site)
+#define SPARKOPT_VERIFY_FRONT(front, site) \
+  ::sparkopt::analysis::CheckFrontOrDie(front, site)
+#define SPARKOPT_VERIFY_TRACE(exec, pplan, cores, site) \
+  ::sparkopt::analysis::CheckTraceOrDie(exec, pplan, cores, site)
+#else
+#define SPARKOPT_VERIFY_LOGICAL(plan, catalog, subqs, site) ((void)0)
+#define SPARKOPT_VERIFY_PHYSICAL(pplan, lplan, site) ((void)0)
+#define SPARKOPT_VERIFY_FRONT(front, site) ((void)0)
+#define SPARKOPT_VERIFY_TRACE(exec, pplan, cores, site) ((void)0)
+#endif

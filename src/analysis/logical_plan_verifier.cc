@@ -1,0 +1,301 @@
+#include "analysis/logical_plan_verifier.h"
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "plan/logical_plan.h"
+
+namespace sparkopt {
+namespace analysis {
+
+namespace {
+
+// Local name table: the analysis library deliberately links only against
+// sparkopt_common, so it cannot use OpTypeName() from sparkopt_plan.
+const char* OpName(OpType t) {
+  switch (t) {
+    case OpType::kScan: return "Scan";
+    case OpType::kFilter: return "Filter";
+    case OpType::kProject: return "Project";
+    case OpType::kJoin: return "Join";
+    case OpType::kAggregate: return "Aggregate";
+    case OpType::kSort: return "Sort";
+    case OpType::kLimit: return "Limit";
+    case OpType::kUnion: return "Union";
+    default: return "?";
+  }
+}
+
+std::string OpLoc(int id) { return "op " + std::to_string(id); }
+
+// DFS cycle detection over child edges (0 = white, 1 = on stack, 2 = done).
+bool HasCycleFrom(const LogicalPlan& plan, int start,
+                  std::vector<int>* color, int* cycle_op) {
+  std::vector<std::pair<int, size_t>> stack{{start, 0}};
+  (*color)[start] = 1;
+  while (!stack.empty()) {
+    auto& [id, next_child] = stack.back();
+    const auto& children = plan.op(id).children;
+    bool descended = false;
+    while (next_child < children.size()) {
+      const int c = children[next_child++];
+      if (c < 0 || c >= static_cast<int>(plan.num_ops())) continue;
+      if ((*color)[c] == 1) {
+        *cycle_op = c;
+        return true;
+      }
+      if ((*color)[c] == 0) {
+        (*color)[c] = 1;
+        stack.push_back({c, 0});
+        descended = true;
+        break;
+      }
+    }
+    if (!descended && stack.back().second >= children.size()) {
+      (*color)[id] = 2;
+      stack.pop_back();
+    }
+  }
+  return false;
+}
+
+void CheckOperators(const LogicalPlan& plan,
+                    const std::vector<TableStats>* catalog,
+                    VerifyReport* report) {
+  const int n = static_cast<int>(plan.num_ops());
+  for (int id = 0; id < n; ++id) {
+    const LogicalOperator& op = plan.op(id);
+    if (op.id != id) {
+      report->Add(StatusCode::kInternal, OpLoc(id),
+                  "stored id " + std::to_string(op.id) +
+                      " does not match storage index");
+    }
+    for (int c : op.children) {
+      if (c < 0 || c >= n) {
+        report->Add(StatusCode::kOutOfRange, OpLoc(id),
+                    "child id " + std::to_string(c) + " outside [0, " +
+                        std::to_string(n) + ")");
+      } else if (c == id) {
+        report->Add(StatusCode::kOutOfRange, OpLoc(id),
+                    "operator is its own child");
+      }
+    }
+    // Arity per operator type.
+    const size_t arity = op.children.size();
+    bool arity_ok = true;
+    std::string expected;
+    switch (op.type) {
+      case OpType::kScan:
+        arity_ok = arity == 0;
+        expected = "0";
+        break;
+      case OpType::kJoin:
+        arity_ok = arity == 2;
+        expected = "2";
+        break;
+      case OpType::kUnion:
+        arity_ok = arity >= 2;
+        expected = ">= 2";
+        break;
+      default:
+        arity_ok = arity == 1;
+        expected = "1";
+        break;
+    }
+    if (!arity_ok) {
+      std::ostringstream ss;
+      ss << OpName(op.type) << " has " << arity << " children, expected "
+         << expected;
+      report->Add(StatusCode::kInvalidArgument, OpLoc(id), ss.str());
+    }
+    // Scans must resolve in the catalog.
+    if (op.type == OpType::kScan) {
+      if (op.table_id < 0) {
+        report->Add(StatusCode::kNotFound, OpLoc(id),
+                    "scan has no table_id");
+      } else if (catalog != nullptr &&
+                 op.table_id >= static_cast<int>(catalog->size())) {
+        report->Add(StatusCode::kNotFound, OpLoc(id),
+                    "table_id " + std::to_string(op.table_id) +
+                        " not in catalog of " +
+                        std::to_string(catalog->size()) + " tables");
+      }
+    }
+    // Annotation bounds.
+    if (!(op.selectivity > 0.0) || op.selectivity > 1.0 ||
+        !std::isfinite(op.selectivity)) {
+      report->Add(StatusCode::kOutOfRange, OpLoc(id),
+                  "selectivity " + std::to_string(op.selectivity) +
+                      " outside (0, 1]");
+    }
+    if (op.cardinality_factor < 0.0 || !std::isfinite(op.cardinality_factor)) {
+      report->Add(StatusCode::kOutOfRange, OpLoc(id),
+                  "cardinality_factor " +
+                      std::to_string(op.cardinality_factor) +
+                      " is negative or non-finite");
+    }
+    if (op.shuffle_skew < 0.0 || op.shuffle_skew > 1.0 ||
+        !std::isfinite(op.shuffle_skew)) {
+      report->Add(StatusCode::kOutOfRange, OpLoc(id),
+                  "shuffle_skew " + std::to_string(op.shuffle_skew) +
+                      " outside [0, 1]");
+    }
+    if (!(op.out_row_bytes > 0.0) || !std::isfinite(op.out_row_bytes)) {
+      report->Add(StatusCode::kOutOfRange, OpLoc(id),
+                  "out_row_bytes " + std::to_string(op.out_row_bytes) +
+                      " must be positive");
+    }
+  }
+}
+
+void CheckDagShape(const LogicalPlan& plan, VerifyReport* report) {
+  const int n = static_cast<int>(plan.num_ops());
+  if (n == 0) {
+    report->Add(StatusCode::kFailedPrecondition, "plan", "plan is empty");
+    return;
+  }
+  // Roots: operators that are no one's (valid) child.
+  std::vector<bool> is_child(n, false);
+  bool children_valid = true;
+  for (int id = 0; id < n; ++id) {
+    for (int c : plan.op(id).children) {
+      if (c >= 0 && c < n && c != id) {
+        is_child[c] = true;
+      } else {
+        children_valid = false;
+      }
+    }
+  }
+  int roots = 0, first_root = -1;
+  for (int id = 0; id < n; ++id) {
+    if (!is_child[id]) {
+      ++roots;
+      if (first_root == -1) first_root = id;
+    }
+  }
+  if (roots != 1) {
+    report->Add(StatusCode::kFailedPrecondition, "plan",
+                "expected exactly one root, found " + std::to_string(roots));
+  } else if (plan.root() != first_root) {
+    report->Add(StatusCode::kFailedPrecondition, "plan",
+                "plan.root() is " + std::to_string(plan.root()) +
+                    " but the unique parentless operator is " +
+                    std::to_string(first_root));
+  }
+  // Cycle detection (only meaningful when child ids are in range).
+  if (children_valid) {
+    std::vector<int> color(n, 0);
+    for (int id = 0; id < n; ++id) {
+      int cycle_op = -1;
+      if (color[id] == 0 && HasCycleFrom(plan, id, &color, &cycle_op)) {
+        report->Add(StatusCode::kFailedPrecondition, OpLoc(cycle_op),
+                    "operator DAG contains a cycle through this operator");
+        break;
+      }
+    }
+  }
+}
+
+void CheckSubQPartition(const LogicalPlan& plan,
+                        const std::vector<SubQuery>& subqs,
+                        VerifyReport* report) {
+  const int n = static_cast<int>(plan.num_ops());
+  const int m = static_cast<int>(subqs.size());
+  std::vector<int> owner(n, -1);
+  for (int i = 0; i < m; ++i) {
+    const SubQuery& sq = subqs[i];
+    const std::string loc = "subQ " + std::to_string(i);
+    if (sq.id != i) {
+      report->Add(StatusCode::kInternal, loc,
+                  "stored id " + std::to_string(sq.id) +
+                      " does not match storage index");
+    }
+    if (sq.op_ids.empty()) {
+      report->Add(StatusCode::kFailedPrecondition, loc, "subQ has no ops");
+    }
+    bool root_is_member = false;
+    for (int op : sq.op_ids) {
+      if (op < 0 || op >= n) {
+        report->Add(StatusCode::kOutOfRange, loc,
+                    "member op " + std::to_string(op) + " outside [0, " +
+                        std::to_string(n) + ")");
+        continue;
+      }
+      if (owner[op] != -1) {
+        report->Add(StatusCode::kFailedPrecondition, OpLoc(op),
+                    "covered by both subQ " + std::to_string(owner[op]) +
+                        " and subQ " + std::to_string(i));
+      }
+      owner[op] = i;
+      if (op == sq.root_op) root_is_member = true;
+    }
+    if (!root_is_member) {
+      report->Add(StatusCode::kFailedPrecondition, loc,
+                  "root_op " + std::to_string(sq.root_op) +
+                      " is not a member of the subQ");
+    }
+    for (int d : sq.deps) {
+      if (d < 0 || d >= m) {
+        report->Add(StatusCode::kOutOfRange, loc,
+                    "dep " + std::to_string(d) + " outside [0, " +
+                        std::to_string(m) + ")");
+      } else if (d == i) {
+        report->Add(StatusCode::kOutOfRange, loc, "subQ depends on itself");
+      }
+    }
+  }
+  for (int op = 0; op < n; ++op) {
+    if (owner[op] == -1) {
+      report->Add(StatusCode::kFailedPrecondition, OpLoc(op),
+                  "operator not covered by any subQ");
+    }
+  }
+  // subQ dependency DAG must be acyclic (Kahn count).
+  std::vector<int> in_deg(m, 0);
+  for (const SubQuery& sq : subqs) {
+    for (int d : sq.deps) {
+      if (d >= 0 && d < m && d != sq.id) ++in_deg[sq.id];
+    }
+  }
+  std::vector<int> frontier;
+  for (int i = 0; i < m; ++i) {
+    if (in_deg[i] == 0) frontier.push_back(i);
+  }
+  int visited = 0;
+  while (!frontier.empty()) {
+    const int u = frontier.back();
+    frontier.pop_back();
+    ++visited;
+    for (const SubQuery& sq : subqs) {
+      for (int d : sq.deps) {
+        if (d == u && --in_deg[sq.id] == 0) frontier.push_back(sq.id);
+      }
+    }
+  }
+  if (visited != m) {
+    report->Add(StatusCode::kFailedPrecondition, "subQ DAG",
+                "subQ dependency graph contains a cycle");
+  }
+}
+
+}  // namespace
+
+bool LogicalPlanVerifier::applicable(const VerifyInput& in) const {
+  return in.logical_plan != nullptr;
+}
+
+VerifyReport LogicalPlanVerifier::Verify(const VerifyInput& in) const {
+  VerifyReport report = MakeReport(in);
+  const LogicalPlan& plan = *in.logical_plan;
+  CheckOperators(plan, in.catalog, &report);
+  CheckDagShape(plan, &report);
+  if (in.subqs != nullptr) {
+    CheckSubQPartition(plan, *in.subqs, &report);
+  }
+  return report;
+}
+
+}  // namespace analysis
+}  // namespace sparkopt

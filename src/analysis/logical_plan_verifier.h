@@ -1,0 +1,40 @@
+#pragma once
+
+#include "analysis/verifier.h"
+
+/// \file logical_plan_verifier.h
+/// \brief Structural invariants of logical plans and their subQ
+/// decomposition (Section 4.1).
+
+namespace sparkopt {
+namespace analysis {
+
+/// \brief Verifies that a LogicalPlan is a well-formed operator DAG.
+///
+/// Checked invariants (violation code in parentheses):
+///  - operator ids match their storage index          (kInternal)
+///  - child ids are in range and not self             (kOutOfRange)
+///  - the operator graph is acyclic                   (kFailedPrecondition)
+///  - arity matches the OpType: Scan 0, Join 2,
+///    Union >= 2, all others exactly 1                (kInvalidArgument)
+///  - exactly one root exists and plan.root() is it   (kFailedPrecondition)
+///  - scans carry a table_id, and it resolves in the
+///    catalog when one is supplied                    (kNotFound)
+///  - selectivity in (0,1], cardinality_factor >= 0,
+///    shuffle_skew in [0,1], out_row_bytes > 0        (kOutOfRange)
+///
+/// When a subQ decomposition is supplied, additionally:
+///  - every operator belongs to exactly one subQ; none
+///    orphaned, none covered twice                    (kFailedPrecondition)
+///  - subQ ids match their index, root_op is a member,
+///    deps are in range / not self                    (kInternal/kOutOfRange)
+///  - the subQ dependency graph is acyclic            (kFailedPrecondition)
+class LogicalPlanVerifier : public Verifier {
+ public:
+  const char* name() const override { return "logical_plan"; }
+  bool applicable(const VerifyInput& in) const override;
+  VerifyReport Verify(const VerifyInput& in) const override;
+};
+
+}  // namespace analysis
+}  // namespace sparkopt

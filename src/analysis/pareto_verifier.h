@@ -1,0 +1,31 @@
+#pragma once
+
+#include "analysis/verifier.h"
+
+/// \file pareto_verifier.h
+/// \brief Invariants of Pareto fronts produced by the MOO layer.
+
+namespace sparkopt {
+namespace analysis {
+
+/// \brief Verifies that a front is a valid Pareto set.
+///
+/// Checked invariants (violation code in parentheses):
+///  - every point has the same, non-zero dimension     (kInvalidArgument)
+///  - every objective value is finite                  (kOutOfRange)
+///  - no point dominates another (Definition 3.2);
+///    exact duplicates are legal ties — the dominance
+///    relation is strict, so coincident points never
+///    flag each other                                  (kInternal)
+///
+/// An empty front is vacuously clean: producers that must not return an
+/// empty set enforce that separately (the tuner turns it into a Status).
+class ParetoVerifier : public Verifier {
+ public:
+  const char* name() const override { return "pareto_front"; }
+  bool applicable(const VerifyInput& in) const override;
+  VerifyReport Verify(const VerifyInput& in) const override;
+};
+
+}  // namespace analysis
+}  // namespace sparkopt

@@ -1,0 +1,194 @@
+#include "analysis/trace_verifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "exec/simulator.h"
+
+namespace sparkopt {
+namespace analysis {
+
+namespace {
+
+constexpr double kRelTol = 1e-6;
+
+// Tolerance scaled to the magnitudes involved: simulated times are
+// seconds, so absolute epsilon alone would be too strict for long traces.
+double Tol(double scale) { return kRelTol * std::max(1.0, std::fabs(scale)); }
+
+std::string StageLoc(const StageExecution& se) {
+  return "stage " + std::to_string(se.stage_id) + " (wave " +
+         std::to_string(se.wave) + ")";
+}
+
+void CheckTotals(const QueryExecution& exec, VerifyReport* report) {
+  const std::pair<const char*, double> totals[] = {
+      {"latency", exec.latency},
+      {"analytical_latency", exec.analytical_latency},
+      {"io_bytes", exec.io_bytes},
+      {"cpu_hours", exec.cpu_hours},
+      {"mem_gb_hours", exec.mem_gb_hours},
+      {"cost", exec.cost},
+  };
+  for (const auto& [field, v] : totals) {
+    if (v < 0.0 || !std::isfinite(v)) {
+      report->Add(StatusCode::kOutOfRange, "query",
+                  std::string(field) + " " + std::to_string(v) +
+                      " is negative or non-finite");
+    }
+  }
+}
+
+void CheckStageRecords(const QueryExecution& exec, int total_cores,
+                       VerifyReport* report) {
+  double max_end = 0.0;
+  double analytical_sum = 0.0;
+  for (const StageExecution& se : exec.stages) {
+    const std::string loc = StageLoc(se);
+    if (se.stage_id < 0) {
+      report->Add(StatusCode::kOutOfRange, loc, "stage_id is negative");
+    }
+    if (se.start < 0.0 || !std::isfinite(se.start)) {
+      report->Add(StatusCode::kOutOfRange, loc,
+                  "start " + std::to_string(se.start) +
+                      " is negative or non-finite");
+    }
+    if (se.end + Tol(se.end) < se.start || !std::isfinite(se.end)) {
+      report->Add(StatusCode::kOutOfRange, loc,
+                  "end " + std::to_string(se.end) + " precedes start " +
+                      std::to_string(se.start));
+    }
+    if (se.task_time_sum < 0.0 || !std::isfinite(se.task_time_sum)) {
+      report->Add(StatusCode::kOutOfRange, loc,
+                  "task_time_sum " + std::to_string(se.task_time_sum) +
+                      " is negative or non-finite");
+    }
+    if (se.num_tasks < 1) {
+      report->Add(StatusCode::kOutOfRange, loc,
+                  "num_tasks " + std::to_string(se.num_tasks) + " < 1");
+    }
+    if (se.analytical_latency < 0.0 ||
+        !std::isfinite(se.analytical_latency)) {
+      report->Add(StatusCode::kOutOfRange, loc,
+                  "analytical_latency " +
+                      std::to_string(se.analytical_latency) +
+                      " is negative or non-finite");
+    } else if (total_cores > 0) {
+      // analytical latency = task_time_sum / total cores (Section 4.2).
+      const double expected = se.task_time_sum / total_cores;
+      if (std::fabs(se.analytical_latency - expected) > Tol(expected)) {
+        report->Add(StatusCode::kInternal, loc,
+                    "analytical_latency " +
+                        std::to_string(se.analytical_latency) +
+                        " != task_time_sum / cores = " +
+                        std::to_string(expected));
+      }
+    }
+    max_end = std::max(max_end, se.end);
+    analytical_sum += se.analytical_latency;
+  }
+  if (!exec.stages.empty()) {
+    if (exec.latency + Tol(max_end) < max_end) {
+      report->Add(StatusCode::kInternal, "query",
+                  "latency " + std::to_string(exec.latency) +
+                      " is before the last stage end " +
+                      std::to_string(max_end));
+    }
+    if (std::fabs(exec.analytical_latency - analytical_sum) >
+        Tol(analytical_sum)) {
+      report->Add(StatusCode::kInternal, "query",
+                  "analytical_latency " +
+                      std::to_string(exec.analytical_latency) +
+                      " != sum over stages " +
+                      std::to_string(analytical_sum));
+    }
+  }
+}
+
+void CheckWaveOrdering(const QueryExecution& exec, VerifyReport* report) {
+  // Waves execute strictly in sequence: every stage of wave w finishes
+  // before any stage of wave w' > w starts.
+  double prev_waves_max_end = 0.0;
+  int prev_wave = -1;
+  std::vector<const StageExecution*> sorted;
+  sorted.reserve(exec.stages.size());
+  for (const StageExecution& se : exec.stages) sorted.push_back(&se);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const StageExecution* a, const StageExecution* b) {
+                     return a->wave < b->wave;
+                   });
+  double wave_max_end = 0.0;
+  for (const StageExecution* se : sorted) {
+    if (se->wave != prev_wave) {
+      prev_waves_max_end = std::max(prev_waves_max_end, wave_max_end);
+      prev_wave = se->wave;
+    }
+    if (se->start + Tol(prev_waves_max_end) < prev_waves_max_end) {
+      report->Add(StatusCode::kFailedPrecondition, StageLoc(*se),
+                  "starts at " + std::to_string(se->start) +
+                      " before an earlier wave ended at " +
+                      std::to_string(prev_waves_max_end));
+    }
+    wave_max_end = std::max(wave_max_end, se->end);
+  }
+}
+
+void CheckPlanDependencies(const QueryExecution& exec,
+                           const PhysicalPlan& plan, VerifyReport* report) {
+  // Only valid for single-wave traces: AQE re-plans between waves, so
+  // stage ids of a multi-wave trace refer to different physical plans.
+  for (const StageExecution& se : exec.stages) {
+    if (se.wave != 0) return;
+  }
+  const int n = static_cast<int>(plan.stages.size());
+  std::vector<const StageExecution*> by_id(n, nullptr);
+  for (const StageExecution& se : exec.stages) {
+    if (se.stage_id < 0 || se.stage_id >= n) {
+      report->Add(StatusCode::kOutOfRange, StageLoc(se),
+                  "stage_id outside the plan's [0, " + std::to_string(n) +
+                      ")");
+      continue;
+    }
+    by_id[se.stage_id] = &se;
+  }
+  for (const StageExecution& se : exec.stages) {
+    if (se.stage_id < 0 || se.stage_id >= n) continue;
+    const QueryStage& st = plan.stages[se.stage_id];
+    for (const auto* deps : {&st.deps, &st.broadcast_deps}) {
+      for (int d : *deps) {
+        if (d < 0 || d >= n || by_id[d] == nullptr) continue;
+        const StageExecution& dep = *by_id[d];
+        if (dep.end > se.start + Tol(dep.end)) {
+          report->Add(StatusCode::kFailedPrecondition, StageLoc(se),
+                      "starts at " + std::to_string(se.start) +
+                          " before its dependency stage " +
+                          std::to_string(d) + " ended at " +
+                          std::to_string(dep.end));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool ExecutionTraceVerifier::applicable(const VerifyInput& in) const {
+  return in.execution != nullptr;
+}
+
+VerifyReport ExecutionTraceVerifier::Verify(const VerifyInput& in) const {
+  VerifyReport report = MakeReport(in);
+  const QueryExecution& exec = *in.execution;
+  CheckTotals(exec, &report);
+  CheckStageRecords(exec, in.total_cores, &report);
+  CheckWaveOrdering(exec, &report);
+  if (in.physical_plan != nullptr) {
+    CheckPlanDependencies(exec, *in.physical_plan, &report);
+  }
+  return report;
+}
+
+}  // namespace analysis
+}  // namespace sparkopt

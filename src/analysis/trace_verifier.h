@@ -1,0 +1,38 @@
+#pragma once
+
+#include "analysis/verifier.h"
+
+/// \file trace_verifier.h
+/// \brief Invariants of simulated execution traces (QueryExecution).
+
+namespace sparkopt {
+namespace analysis {
+
+/// \brief Verifies an execution trace produced by the simulator or the
+/// AQE driver.
+///
+/// Checked invariants (violation code in parentheses):
+///  - query latency / IO / cost totals are finite and
+///    non-negative                                     (kOutOfRange)
+///  - per stage: 0 <= start <= end, task_time_sum and
+///    analytical_latency finite and non-negative,
+///    num_tasks >= 1                                   (kOutOfRange)
+///  - query latency covers the last stage end          (kInternal)
+///  - query analytical latency equals the sum over
+///    stages (Section 4.2)                             (kInternal)
+///  - AQE wave ordering: a stage in a later wave never
+///    starts before an earlier wave's stages end       (kFailedPrecondition)
+///  - with total_cores > 0: per-stage analytical
+///    latency equals task_time_sum / total_cores       (kInternal)
+///  - with the physical plan supplied and a single-wave
+///    trace: every dependency finishes before its
+///    dependent stage starts                           (kFailedPrecondition)
+class ExecutionTraceVerifier : public Verifier {
+ public:
+  const char* name() const override { return "execution_trace"; }
+  bool applicable(const VerifyInput& in) const override;
+  VerifyReport Verify(const VerifyInput& in) const override;
+};
+
+}  // namespace analysis
+}  // namespace sparkopt

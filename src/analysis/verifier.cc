@@ -1,0 +1,125 @@
+#include "analysis/verifier.h"
+
+#include <sstream>
+
+#include "analysis/logical_plan_verifier.h"
+#include "analysis/pareto_verifier.h"
+#include "analysis/physical_plan_verifier.h"
+#include "analysis/trace_verifier.h"
+
+namespace sparkopt {
+namespace analysis {
+
+std::string Violation::ToString() const {
+  std::ostringstream ss;
+  ss << "[" << Status::CodeName(code) << "] " << location << ": " << message;
+  return ss.str();
+}
+
+void VerifyReport::Add(StatusCode code, std::string location,
+                       std::string message) {
+  violations.push_back({code, std::move(location), std::move(message)});
+}
+
+bool VerifyReport::HasCode(StatusCode code) const {
+  for (const auto& v : violations) {
+    if (v.code == code) return true;
+  }
+  return false;
+}
+
+Status VerifyReport::ToStatus() const {
+  if (ok()) return Status::OK();
+  const Violation& v = violations.front();
+  std::ostringstream ss;
+  ss << verifier;
+  if (!site.empty()) ss << " (at " << site << ")";
+  ss << ": " << v.location << ": " << v.message;
+  if (violations.size() > 1) {
+    ss << " (+" << violations.size() - 1 << " more)";
+  }
+  return Status(v.code, ss.str());
+}
+
+std::string VerifyReport::ToString() const {
+  std::ostringstream ss;
+  ss << verifier;
+  if (!site.empty()) ss << " (at " << site << ")";
+  if (ok()) {
+    ss << ": ok";
+    return ss.str();
+  }
+  ss << ": " << violations.size() << " violation(s)";
+  for (const auto& v : violations) {
+    ss << "\n  " << v.ToString();
+  }
+  return ss.str();
+}
+
+VerifyReport Verifier::MakeReport(const VerifyInput& in) const {
+  VerifyReport report;
+  report.verifier = name();
+  report.site = in.site;
+  return report;
+}
+
+void VerifierRegistry::Register(std::unique_ptr<Verifier> verifier) {
+  for (auto& p : passes_) {
+    if (std::string(p->name()) == verifier->name()) {
+      p = std::move(verifier);
+      return;
+    }
+  }
+  passes_.push_back(std::move(verifier));
+}
+
+const Verifier* VerifierRegistry::Find(const std::string& name) const {
+  for (const auto& p : passes_) {
+    if (name == p->name()) return p.get();
+  }
+  return nullptr;
+}
+
+Result<VerifyReport> VerifierRegistry::Run(const std::string& name,
+                                           const VerifyInput& in) const {
+  const Verifier* v = Find(name);
+  if (v == nullptr) {
+    return Status::NotFound("no verifier pass named '" + name + "'");
+  }
+  if (!v->applicable(in)) {
+    return Status::FailedPrecondition(
+        "verifier pass '" + name + "' is missing its required inputs");
+  }
+  return v->Verify(in);
+}
+
+std::vector<VerifyReport> VerifierRegistry::RunApplicable(
+    const VerifyInput& in) const {
+  std::vector<VerifyReport> reports;
+  for (const auto& p : passes_) {
+    if (p->applicable(in)) reports.push_back(p->Verify(in));
+  }
+  return reports;
+}
+
+std::vector<std::string> VerifierRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(passes_.size());
+  for (const auto& p : passes_) out.emplace_back(p->name());
+  return out;
+}
+
+const VerifierRegistry& VerifierRegistry::BuiltIn() {
+  static const VerifierRegistry* kRegistry = [] {
+    auto* r = new VerifierRegistry();
+    r->Register(std::make_unique<LogicalPlanVerifier>());
+    r->Register(std::make_unique<PhysicalPlanVerifier>());
+    r->Register(std::make_unique<ParetoVerifier>());
+    r->Register(std::make_unique<ExecutionTraceVerifier>());
+    return r;
+  }();
+  return *kRegistry;
+}
+
+}  // namespace analysis
+}  // namespace sparkopt

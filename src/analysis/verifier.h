@@ -1,0 +1,125 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/pareto.h"
+#include "common/status.h"
+
+/// \file verifier.h
+/// \brief Composable invariant-verification framework.
+///
+/// A Verifier is one structural-invariant pass (plan DAG well-formedness,
+/// Pareto-front non-dominance, execution-trace ordering, ...). Passes
+/// consume a VerifyInput — a bundle of optional pointers to the artifacts
+/// a producer has in hand — and emit a VerifyReport listing every
+/// violation with a StatusCode and a location. The VerifierRegistry runs
+/// passes by name or runs every pass applicable to an input.
+///
+/// Producers call the passes through the SPARKOPT_VERIFY_* macros in
+/// analysis/invariants.h, compiled in only under the SPARKOPT_VERIFY
+/// CMake option (ON in Debug/CI, OFF in Release benches).
+
+namespace sparkopt {
+
+class LogicalPlan;
+struct TableStats;
+struct SubQuery;
+struct PhysicalPlan;
+struct QueryExecution;
+
+namespace analysis {
+
+/// One invariant violation: category, where, and what.
+struct Violation {
+  StatusCode code = StatusCode::kInternal;
+  /// Structural location, e.g. "op 3", "stage 2", "point 5/7".
+  std::string location;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+/// Outcome of running one verifier pass.
+struct VerifyReport {
+  std::string verifier;          ///< pass name
+  std::string site;              ///< producer call site (may be empty)
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+  void Add(StatusCode code, std::string location, std::string message);
+  bool HasCode(StatusCode code) const;
+
+  /// OK when clean; otherwise the first violation as a Status whose
+  /// message carries the pass name and location.
+  Status ToStatus() const;
+  /// Multi-line human-readable summary of every violation.
+  std::string ToString() const;
+};
+
+/// \brief Everything a producer can hand to the verifiers. All pointers
+/// optional; passes declare what they need via applicable().
+struct VerifyInput {
+  const LogicalPlan* logical_plan = nullptr;
+  /// Catalog behind the logical plan's scans (enables table resolution).
+  const std::vector<TableStats>* catalog = nullptr;
+  /// subQ decomposition of `logical_plan` (enables partition checks).
+  const std::vector<SubQuery>* subqs = nullptr;
+  const PhysicalPlan* physical_plan = nullptr;
+  /// A Pareto front that must be mutually non-dominated.
+  const std::vector<ObjectiveVector>* front = nullptr;
+  const QueryExecution* execution = nullptr;
+  /// Total cores the execution ran on; > 0 enables the
+  /// task_time_sum / analytical_latency consistency check.
+  int total_cores = 0;
+  /// Producer call-site tag copied into reports, e.g. "PhysicalPlanner".
+  const char* site = "";
+};
+
+/// \brief One invariant-verification pass.
+class Verifier {
+ public:
+  virtual ~Verifier() = default;
+
+  virtual const char* name() const = 0;
+  /// True when `in` carries the artifacts this pass inspects.
+  virtual bool applicable(const VerifyInput& in) const = 0;
+  virtual VerifyReport Verify(const VerifyInput& in) const = 0;
+
+ protected:
+  /// Report pre-stamped with this pass's name and the input's site tag.
+  VerifyReport MakeReport(const VerifyInput& in) const;
+};
+
+/// \brief Owns verifier passes and runs them by name.
+class VerifierRegistry {
+ public:
+  /// Registers a pass; replaces any existing pass with the same name.
+  void Register(std::unique_ptr<Verifier> verifier);
+
+  /// nullptr when no pass has that name.
+  const Verifier* Find(const std::string& name) const;
+
+  /// Runs one pass by name; NotFound for unknown names,
+  /// FailedPrecondition when the pass is not applicable to `in`.
+  Result<VerifyReport> Run(const std::string& name,
+                           const VerifyInput& in) const;
+
+  /// Runs every registered pass applicable to `in`, in registration
+  /// order.
+  std::vector<VerifyReport> RunApplicable(const VerifyInput& in) const;
+
+  std::vector<std::string> names() const;
+  size_t size() const { return passes_.size(); }
+
+  /// Registry preloaded with every built-in pass (logical_plan,
+  /// physical_plan, pareto_front, execution_trace).
+  static const VerifierRegistry& BuiltIn();
+
+ private:
+  std::vector<std::unique_ptr<Verifier>> passes_;
+};
+
+}  // namespace analysis
+}  // namespace sparkopt

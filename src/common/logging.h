@@ -57,13 +57,5 @@ struct NullStream {
                                    __LINE__)                                 \
       .stream()
 
-/// Hard invariant check: aborts with a message when violated. Used for
-/// programming errors only (API misuse returns Status instead).
-#define SPARKOPT_CHECK(cond, msg)                                          \
-  do {                                                                     \
-    if (!(cond)) {                                                         \
-      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,        \
-                   __LINE__, msg);                                         \
-      std::abort();                                                        \
-    }                                                                      \
-  } while (0)
+// Hard invariant checks (SPARKOPT_CHECK and friends) live in
+// common/check.h.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "analysis/invariants.h"
+#include "common/check.h"
 #include "common/rng.h"
 
 namespace sparkopt {
@@ -12,6 +14,10 @@ Result<AqeResult> AqeDriver::Run(const ContextParams& theta_c,
                                  AqeHooks* hooks, uint64_t seed,
                                  bool adaptive) const {
   AqeResult result;
+#ifdef SPARKOPT_VERIFY
+  const int verify_cores = std::min(
+      theta_c.TotalCores(), simulator_->cost_model().cluster().TotalCores());
+#endif
   const size_t m = subqs_.size();
   std::vector<bool> completed(m, false);
   PhysicalPlanner planner(plan_, subqs_);
@@ -31,6 +37,8 @@ Result<AqeResult> AqeDriver::Run(const ContextParams& theta_c,
                                      HashCombine(seed, 0x1F0FF));
     result.waves = 1;
     result.final_joins = plan_or->join_decisions;
+    SPARKOPT_VERIFY_TRACE(result.exec, &*plan_or, verify_cores,
+                          "AqeDriver::Run (non-adaptive)");
     return result;
   }
 
@@ -47,6 +55,13 @@ Result<AqeResult> AqeDriver::Run(const ContextParams& theta_c,
     std::vector<int> subq_of(plan_->num_ops(), -1);
     for (const auto& sq : subqs_) {
       for (int op : sq.op_ids) subq_of[op] = sq.id;
+    }
+    for (const auto& st : pplan.stages) {
+      for (int op : st.op_ids) {
+        SPARKOPT_DCHECK_GE(subq_of[op], 0)
+            << "stage " << st.id << " executes op " << op
+            << " outside the subQ decomposition";
+      }
     }
     auto stage_completed = [&](const QueryStage& st) {
       for (int op : st.op_ids) {
@@ -156,6 +171,9 @@ Result<AqeResult> AqeDriver::Run(const ContextParams& theta_c,
     }
   }
   simulator_->FinalizeCost(theta_c, &result.exec);
+  // Adaptive traces span several physical plans, so only the plan-free
+  // trace invariants (wave ordering, totals) apply here.
+  SPARKOPT_VERIFY_TRACE(result.exec, nullptr, verify_cores, "AqeDriver::Run");
   return result;
 }
 

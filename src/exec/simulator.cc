@@ -4,6 +4,8 @@
 #include <cmath>
 #include <queue>
 
+#include "analysis/invariants.h"
+#include "common/check.h"
 #include "common/rng.h"
 
 namespace sparkopt {
@@ -38,6 +40,11 @@ QueryExecution Simulator::RunStages(const PhysicalPlan& plan,
   std::vector<PendingStage> pending;
   pending.reserve(stage_ids.size());
   for (int sid : stage_ids) {
+    SPARKOPT_DCHECK(sid >= 0 && sid < static_cast<int>(plan.stages.size()))
+        << "stage id " << sid << " outside the plan's "
+        << plan.stages.size() << " stages";
+    SPARKOPT_DCHECK_LT(in_subset[sid], 0)
+        << "stage id " << sid << " listed twice in the subset";
     in_subset[sid] = static_cast<int>(pending.size());
     PendingStage ps;
     ps.stage = &plan.stages[sid];
@@ -170,9 +177,10 @@ QueryExecution Simulator::RunStages(const PhysicalPlan& plan,
         --stages_left;
         for (int dep : dependents[pi]) {
           auto& dp = pending[dep];
-          if (--dp.deps_remaining == 0) {
-            dp.ready_time = ps.record.end;
-          }
+          --dp.deps_remaining;
+          // Ready no earlier than the latest dependency end — not the end
+          // of whichever dependency happened to be processed last.
+          dp.ready_time = std::max(dp.ready_time, ps.record.end);
         }
       }
     }
@@ -190,6 +198,7 @@ QueryExecution Simulator::RunStages(const PhysicalPlan& plan,
   }
   result.latency = makespan;
   FinalizeCost(theta_c, &result);
+  SPARKOPT_VERIFY_TRACE(result, &plan, total_cores, "Simulator::RunStages");
   return result;
 }
 

@@ -120,7 +120,7 @@ Status TraceCollector::Collect(
 Status ModelSuite::Train(const ModelDataset& subq, const ModelDataset& qs,
                          const ModelDataset& lqp, uint64_t seed,
                          const Mlp::TrainOptions& opts) {
-  if (subq.size() == 0 || qs.size() == 0 || lqp.size() == 0) {
+  if (subq.empty() || qs.empty() || lqp.empty()) {
     return Status::InvalidArgument("empty training dataset");
   }
   const int stage_dim = static_cast<int>(subq.x[0].size());
@@ -139,7 +139,7 @@ Status ModelSuite::Train(const ModelDataset& subq, const ModelDataset& qs,
 ModelPerformance ModelSuite::Evaluate(const Regressor& model,
                                       const ModelDataset& test) const {
   ModelPerformance perf;
-  if (test.size() == 0) return perf;
+  if (test.empty()) return perf;
   std::vector<double> lat_true, lat_pred, io_true, io_pred;
   const auto t0 = std::chrono::steady_clock::now();
   const Matrix preds = model.PredictBatch(test.x);

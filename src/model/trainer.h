@@ -25,6 +25,7 @@ struct ModelDataset {
   Matrix y;
 
   size_t size() const { return x.size(); }
+  bool empty() const { return x.empty(); }
   void Append(std::vector<double> features, std::vector<double> targets) {
     x.push_back(std::move(features));
     y.push_back(std::move(targets));

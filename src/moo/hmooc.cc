@@ -6,6 +6,8 @@
 #include <limits>
 #include <numeric>
 
+#include "analysis/invariants.h"
+#include "common/check.h"
 #include "common/rng.h"
 #include "moo/kmeans.h"
 #include "params/sampler.h"
@@ -181,6 +183,9 @@ DcNode MergeDc(const DcNode& a, const DcNode& b) {
     out.f.push_back(std::move(merged.f[idx]));
     out.choice.push_back(std::move(merged.choice[idx]));
   }
+  // Every Minkowski-sum merge must hand a mutually non-dominated front to
+  // its parent (Algorithm 3 / Proposition B.1).
+  SPARKOPT_VERIFY_FRONT(out.f, "HmoocSolver::MergeDc");
   return out;
 }
 
@@ -302,6 +307,13 @@ MooRunResult HmoocSolver::Solve() const {
               subq_sets[i].push_back(
                   {opt_pool[r][i][idx], std::move(fs[idx])});
             }
+#ifdef SPARKOPT_VERIFY
+            std::vector<ObjectiveVector> subq_front;
+            subq_front.reserve(subq_sets[i].size());
+            for (const auto& e : subq_sets[i]) subq_front.push_back(e.f);
+            SPARKOPT_VERIFY_FRONT(subq_front,
+                                  "HmoocSolver::Solve (subQ effective set)");
+#endif
           }
           eff->push_back(std::move(subq_sets));
         }
@@ -377,6 +389,12 @@ MooRunResult HmoocSolver::Solve() const {
     sol.conf = sol.per_subq_conf.front();
     result.pareto.push_back(std::move(sol));
   }
+#ifdef SPARKOPT_VERIFY
+  std::vector<ObjectiveVector> final_front;
+  final_front.reserve(result.pareto.size());
+  for (const auto& sol : result.pareto) final_front.push_back(sol.objectives);
+  SPARKOPT_VERIFY_FRONT(final_front, "HmoocSolver::Solve (query front)");
+#endif
   result.solve_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

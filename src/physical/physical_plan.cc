@@ -5,6 +5,9 @@
 #include <functional>
 #include <numeric>
 
+#include "analysis/invariants.h"
+#include "common/check.h"
+
 namespace sparkopt {
 
 const char* JoinAlgoName(JoinAlgo a) {
@@ -175,6 +178,10 @@ Result<PhysicalPlan> PhysicalPlanner::Plan(
   for (const auto& sq : subqs_) {
     for (int op : sq.op_ids) subq_of[op] = sq.id;
   }
+  for (size_t i = 0; i < subq_of.size(); ++i) {
+    SPARKOPT_DCHECK_GE(subq_of[i], 0)
+        << "op " << i << " is not covered by the subQ decomposition";
+  }
 
   auto believed_rows = [&](int op_id) {
     const auto& op = plan.op(op_id);
@@ -223,7 +230,7 @@ Result<PhysicalPlan> PhysicalPlanner::Plan(
     }
     algo_of_op[id] = algo;
     build_child_of[id] = build;
-    result.join_decisions.push_back({id, algo, build_mb});
+    result.join_decisions.push_back({id, algo, build_mb, build});
   }
 
   // ---- 2. Stage formation: merge BHJ subQs into their probe stage -----
@@ -241,6 +248,45 @@ Result<PhysicalPlan> PhysicalPlanner::Plan(
     return sq < static_cast<int>(completed_subqs.size()) &&
            completed_subqs[sq];
   };
+  // subQ-level producer -> consumer edges, for the cycle guard below.
+  std::vector<std::vector<int>> subq_consumers(m);
+  for (int id = 0; id < plan.num_ops(); ++id) {
+    for (int c : plan.op(id).children) {
+      if (subq_of[c] != subq_of[id]) {
+        subq_consumers[subq_of[c]].push_back(subq_of[id]);
+      }
+    }
+  }
+  // True when merging producer group `gp` into consumer group `gj` would
+  // create a cycle in the stage graph, i.e. when some other path gp -> gj
+  // exists besides the direct edge. This happens when the probe side's
+  // exchange is reused by another consumer (e.g. a correlated aggregate
+  // over the same join output): the BHJ stage must then read the
+  // materialized exchange output instead of collapsing into the probe
+  // stage.
+  auto would_cycle = [&](int gp, int gj) {
+    std::vector<char> seen(m, 0);
+    std::vector<int> stack;
+    auto push_successors = [&](int g, bool from_start) {
+      for (int sq = 0; sq < static_cast<int>(m); ++sq) {
+        if (find(sq) != g) continue;
+        for (int consumer : subq_consumers[sq]) {
+          const int gc = find(consumer);
+          if (gc == g || (from_start && gc == gj) || seen[gc]) continue;
+          seen[gc] = 1;
+          stack.push_back(gc);
+        }
+      }
+    };
+    push_successors(gp, /*from_start=*/true);
+    while (!stack.empty()) {
+      const int g = stack.back();
+      stack.pop_back();
+      if (g == gj) return true;
+      push_successors(g, /*from_start=*/false);
+    }
+    return false;
+  };
   for (int id : plan.TopologicalOrder()) {
     const auto& op = plan.op(id);
     if (op.type != OpType::kJoin ||
@@ -257,7 +303,10 @@ Result<PhysicalPlan> PhysicalPlanner::Plan(
       if (subq_completed(subq_of[id]) || subq_completed(subq_of[c])) {
         continue;
       }
-      uf[find(subq_of[id])] = find(subq_of[c]);
+      const int gj = find(subq_of[id]);
+      const int gp = find(subq_of[c]);
+      if (gj == gp || would_cycle(gp, gj)) continue;
+      uf[gj] = gp;
     }
   }
 
@@ -399,6 +448,10 @@ Result<PhysicalPlan> PhysicalPlanner::Plan(
           ts.rebalance_small_factor, ts.coalesce_min_partition_size_mb);
       st.num_partitions = static_cast<int>(st.partition_bytes.size());
     }
+    SPARKOPT_DCHECK_EQ(st.num_partitions,
+                       static_cast<int>(st.partition_bytes.size()))
+        << "stage " << st.id;
+    SPARKOPT_DCHECK_GE(st.num_partitions, 1) << "stage " << st.id;
   }
 
   // Root stage does not write a shuffle.
@@ -406,6 +459,7 @@ Result<PhysicalPlan> PhysicalPlanner::Plan(
   for (auto& st : result.stages) {
     st.exchanges_output = st.id != root_stage;
   }
+  SPARKOPT_VERIFY_PHYSICAL(result, plan_, "PhysicalPlanner::Plan");
   return result;
 }
 

@@ -34,6 +34,7 @@ struct JoinDecision {
   int op_id = -1;
   JoinAlgo algo = JoinAlgo::kSortMergeJoin;
   double build_side_mb = 0.0;  ///< believed build-side size at decision time
+  int build_op = -1;           ///< logical op id of the chosen build side
 };
 
 /// \brief One executable query stage.

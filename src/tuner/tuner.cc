@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "analysis/invariants.h"
 #include "common/rng.h"
 #include "moo/baselines.h"
 
@@ -56,6 +57,14 @@ Result<TuningOutcome> Tuner::RunWithConfig(const Query& query,
 
 Result<TuningOutcome> Tuner::Run(const Query& query,
                                  TuningMethod method) const {
+#ifdef SPARKOPT_VERIFY
+  {
+    // The tuner is the system boundary: reject malformed query plans and
+    // inconsistent subQ decompositions before optimizing against them.
+    const auto subqs = query.plan.DecomposeSubQueries();
+    SPARKOPT_VERIFY_LOGICAL(query.plan, query.catalog, &subqs, "Tuner::Run");
+  }
+#endif
   if (method == TuningMethod::kDefault) {
     auto out = RunWithConfig(query, DefaultSparkConfig());
     if (out.ok()) out->method = TuningMethod::kDefault;
@@ -122,6 +131,15 @@ Result<TuningOutcome> Tuner::Run(const Query& query,
   if (out.moo.pareto.empty()) {
     return Status::Internal("solver returned an empty Pareto set");
   }
+#ifdef SPARKOPT_VERIFY
+  {
+    // A dominated or non-finite point here would corrupt the WUN pick.
+    std::vector<ObjectiveVector> front;
+    front.reserve(out.moo.pareto.size());
+    for (const auto& sol : out.moo.pareto) front.push_back(sol.objectives);
+    SPARKOPT_VERIFY_FRONT(front, "Tuner::Run (compile-time front)");
+  }
+#endif
 
   // WUN recommendation.
   const size_t pick = out.moo.Recommend(opts_.preference);

@@ -1,5 +1,7 @@
 #include "workload/builder.h"
 
+#include "analysis/invariants.h"
+
 namespace sparkopt {
 
 int PlanBuilder::Scan(int table_id, double selectivity, double row_bytes,
@@ -94,6 +96,10 @@ Result<Query> PlanBuilder::Build(const std::vector<TableStats>* catalog,
   q.catalog = catalog;
   q.seed = error.seed;
   SPARKOPT_RETURN_NOT_OK(AnnotateCardinalities(*catalog, error, &q.plan));
+#ifdef SPARKOPT_VERIFY
+  const auto subqs = q.plan.DecomposeSubQueries();
+  SPARKOPT_VERIFY_LOGICAL(q.plan, catalog, &subqs, "PlanBuilder::Build");
+#endif
   return q;
 }
 

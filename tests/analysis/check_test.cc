@@ -1,0 +1,69 @@
+#include "common/check.h"
+
+#include "gtest/gtest.h"
+
+namespace sparkopt {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  SPARKOPT_CHECK(1 + 1 == 2);
+  SPARKOPT_CHECK(true) << "never evaluated";
+}
+
+TEST(CheckTest, PassingComparisonsAreSilent) {
+  SPARKOPT_CHECK_EQ(2, 2);
+  SPARKOPT_CHECK_NE(2, 3);
+  SPARKOPT_CHECK_LT(2, 3);
+  SPARKOPT_CHECK_LE(2, 2);
+  SPARKOPT_CHECK_GT(3, 2);
+  SPARKOPT_CHECK_GE(3, 3);
+}
+
+TEST(CheckTest, CheckIsUsableInExpressionPosition) {
+  // The ternary-based expansion must compose with if/else without braces.
+  if (true)
+    SPARKOPT_CHECK(true);
+  else
+    SPARKOPT_CHECK(false);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(SPARKOPT_CHECK(1 == 2), "CHECK failed .*1 == 2");
+}
+
+TEST(CheckDeathTest, FailingCheckStreamsMessage) {
+  EXPECT_DEATH(SPARKOPT_CHECK(false) << "context " << 42,
+               "CHECK failed .*false.*context 42");
+}
+
+TEST(CheckDeathTest, FailingComparisonPrintsOperands) {
+  EXPECT_DEATH(SPARKOPT_CHECK_EQ(2 + 2, 5),
+               "CHECK failed .*lhs=4, rhs=5");
+  EXPECT_DEATH(SPARKOPT_CHECK_LT(9, 3), "CHECK failed .*lhs=9, rhs=3");
+}
+
+#if !defined(NDEBUG) || defined(SPARKOPT_VERIFY)
+
+TEST(CheckDeathTest, DcheckActiveInVerifiedBuilds) {
+  EXPECT_DEATH(SPARKOPT_DCHECK(false) << "debug only", "debug only");
+  EXPECT_DEATH(SPARKOPT_DCHECK_EQ(1, 2), "CHECK failed");
+}
+
+#else
+
+TEST(CheckTest, DcheckCompiledOutInReleaseBuilds) {
+  // Must neither abort nor evaluate the streamed expression.
+  SPARKOPT_DCHECK(false) << "never printed";
+  SPARKOPT_DCHECK_EQ(1, 2);
+  SUCCEED();
+}
+
+#endif
+
+TEST(CheckTest, DcheckPassesEitherWay) {
+  SPARKOPT_DCHECK(true);
+  SPARKOPT_DCHECK_GE(5, 5);
+}
+
+}  // namespace
+}  // namespace sparkopt

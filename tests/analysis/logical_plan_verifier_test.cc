@@ -1,0 +1,220 @@
+#include "analysis/logical_plan_verifier.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/verifier.h"
+#include "gtest/gtest.h"
+#include "plan/logical_plan.h"
+#include "verifier_test_util.h"
+
+namespace sparkopt {
+namespace analysis {
+namespace {
+
+// scan(t0) -> filter -> agg(shuffle) -> sort, plus scan(t1) joined in:
+//
+//   scan0   scan1
+//     \      /
+//      join2        (shuffle)
+//        |
+//      agg3         (shuffle)
+//        |
+//      sort4
+LogicalPlan MakePlan() {
+  LogicalPlan plan;
+  LogicalOperator scan0;
+  scan0.type = OpType::kScan;
+  scan0.table_id = 0;
+  LogicalOperator scan1;
+  scan1.type = OpType::kScan;
+  scan1.table_id = 1;
+  LogicalOperator join2;
+  join2.type = OpType::kJoin;
+  join2.children = {0, 1};
+  join2.requires_shuffle = true;
+  LogicalOperator agg3;
+  agg3.type = OpType::kAggregate;
+  agg3.children = {2};
+  agg3.requires_shuffle = true;
+  agg3.cardinality_factor = 0.1;
+  LogicalOperator sort4;
+  sort4.type = OpType::kSort;
+  sort4.children = {3};
+  plan.AddOperator(scan0);
+  plan.AddOperator(scan1);
+  plan.AddOperator(join2);
+  plan.AddOperator(agg3);
+  plan.AddOperator(sort4);
+  EXPECT_TRUE(plan.Build().ok());
+  return plan;
+}
+
+std::vector<TableStats> MakeCatalog() {
+  return {{"t0", 1000.0, 64.0, 0.0}, {"t1", 500.0, 32.0, 0.0}};
+}
+
+VerifyReport RunVerifier(const LogicalPlan& plan,
+                 const std::vector<TableStats>* catalog = nullptr,
+                 const std::vector<SubQuery>* subqs = nullptr) {
+  LogicalPlanVerifier v;
+  VerifyInput in;
+  in.logical_plan = &plan;
+  in.catalog = catalog;
+  in.subqs = subqs;
+  return v.Verify(in);
+}
+
+TEST(LogicalPlanVerifierTest, CleanPlanPasses) {
+  LogicalPlan plan = MakePlan();
+  auto catalog = MakeCatalog();
+  auto subqs = plan.DecomposeSubQueries();
+  EXPECT_TRUE(ReportClean(RunVerifier(plan, &catalog, &subqs)));
+}
+
+TEST(LogicalPlanVerifierTest, NotApplicableWithoutPlan) {
+  LogicalPlanVerifier v;
+  EXPECT_FALSE(v.applicable(VerifyInput{}));
+}
+
+TEST(LogicalPlanVerifierTest, CycleIsFailedPrecondition) {
+  LogicalPlan plan = MakePlan();
+  // agg3 <-> sort4 cycle: point agg3's child back at sort4.
+  plan.op(3).children = {4};
+  auto report = RunVerifier(plan);
+  EXPECT_TRUE(ReportHas(report, StatusCode::kFailedPrecondition, "cycle"));
+}
+
+TEST(LogicalPlanVerifierTest, ChildIdOutOfRangeIsOutOfRange) {
+  LogicalPlan plan = MakePlan();
+  plan.op(4).children = {17};
+  auto report = RunVerifier(plan);
+  EXPECT_TRUE(ReportHas(report, StatusCode::kOutOfRange,
+                        "child id 17 outside [0, 5)"));
+}
+
+TEST(LogicalPlanVerifierTest, SelfChildIsOutOfRange) {
+  LogicalPlan plan = MakePlan();
+  plan.op(4).children = {4};
+  auto report = RunVerifier(plan);
+  EXPECT_TRUE(
+      ReportHas(report, StatusCode::kOutOfRange, "operator is its own child"));
+}
+
+TEST(LogicalPlanVerifierTest, JoinArityIsInvalidArgument) {
+  LogicalPlan plan = MakePlan();
+  plan.op(2).children = {0};  // join with a single child
+  auto report = RunVerifier(plan);
+  EXPECT_TRUE(ReportHas(report, StatusCode::kInvalidArgument,
+                        "Join has 1 children, expected 2"));
+}
+
+TEST(LogicalPlanVerifierTest, ScanWithChildrenIsInvalidArgument) {
+  LogicalPlan plan = MakePlan();
+  plan.op(1).children = {0};
+  auto report = RunVerifier(plan);
+  EXPECT_TRUE(ReportHas(report, StatusCode::kInvalidArgument,
+                        "Scan has 1 children, expected 0"));
+}
+
+TEST(LogicalPlanVerifierTest, UnknownTableIsNotFound) {
+  LogicalPlan plan = MakePlan();
+  plan.op(1).table_id = 99;
+  auto catalog = MakeCatalog();
+  auto report = RunVerifier(plan, &catalog);
+  EXPECT_TRUE(ReportHas(report, StatusCode::kNotFound,
+                        "table_id 99 not in catalog of 2 tables"));
+}
+
+TEST(LogicalPlanVerifierTest, MissingTableIdIsNotFound) {
+  LogicalPlan plan = MakePlan();
+  plan.op(0).table_id = -1;
+  auto report = RunVerifier(plan);
+  EXPECT_TRUE(
+      ReportHas(report, StatusCode::kNotFound, "scan has no table_id"));
+}
+
+TEST(LogicalPlanVerifierTest, SelectivityOutOfBoundsIsOutOfRange) {
+  LogicalPlan plan = MakePlan();
+  plan.op(0).selectivity = 1.5;
+  auto report = RunVerifier(plan);
+  EXPECT_TRUE(ReportHas(report, StatusCode::kOutOfRange, "selectivity"));
+}
+
+TEST(LogicalPlanVerifierTest, NegativeCardinalityFactorIsOutOfRange) {
+  LogicalPlan plan = MakePlan();
+  plan.op(3).cardinality_factor = -0.5;
+  auto report = RunVerifier(plan);
+  EXPECT_TRUE(
+      ReportHas(report, StatusCode::kOutOfRange, "cardinality_factor"));
+}
+
+TEST(LogicalPlanVerifierTest, TwoRootsIsFailedPrecondition) {
+  LogicalPlan plan = MakePlan();
+  // Detach sort4: agg3 becomes a second root.
+  plan.op(4).children = {2};
+  plan.op(3).children = {2};
+  auto report = RunVerifier(plan);
+  EXPECT_TRUE(ReportHas(report, StatusCode::kFailedPrecondition,
+                        "expected exactly one root, found 2"));
+}
+
+TEST(LogicalPlanVerifierTest, OrphanOpIsFailedPrecondition) {
+  LogicalPlan plan = MakePlan();
+  auto subqs = plan.DecomposeSubQueries();
+  // Drop op 0 from its subQ: it is now covered by nothing.
+  for (auto& sq : subqs) {
+    sq.op_ids.erase(std::remove(sq.op_ids.begin(), sq.op_ids.end(), 0),
+                    sq.op_ids.end());
+  }
+  auto report = RunVerifier(plan, nullptr, &subqs);
+  EXPECT_TRUE(ReportHas(report, StatusCode::kFailedPrecondition,
+                        "operator not covered by any subQ"));
+}
+
+TEST(LogicalPlanVerifierTest, DoubleCoverageIsFailedPrecondition) {
+  LogicalPlan plan = MakePlan();
+  auto subqs = plan.DecomposeSubQueries();
+  ASSERT_GE(subqs.size(), 2u);
+  // Cover op 0 by a second subQ as well.
+  const int op0_owner = [&] {
+    for (const auto& sq : subqs) {
+      for (int op : sq.op_ids) {
+        if (op == 0) return sq.id;
+      }
+    }
+    return -1;
+  }();
+  for (auto& sq : subqs) {
+    if (sq.id != op0_owner) {
+      sq.op_ids.push_back(0);
+      break;
+    }
+  }
+  auto report = RunVerifier(plan, nullptr, &subqs);
+  EXPECT_TRUE(
+      ReportHas(report, StatusCode::kFailedPrecondition, "covered by both"));
+}
+
+TEST(LogicalPlanVerifierTest, SubQCycleIsFailedPrecondition) {
+  LogicalPlan plan = MakePlan();
+  auto subqs = plan.DecomposeSubQueries();
+  ASSERT_GE(subqs.size(), 2u);
+  // Make the first two subQs depend on each other.
+  subqs[0].deps.push_back(1);
+  subqs[1].deps.push_back(0);
+  auto report = RunVerifier(plan, nullptr, &subqs);
+  EXPECT_TRUE(ReportHas(report, StatusCode::kFailedPrecondition,
+                        "subQ dependency graph contains a cycle"));
+}
+
+TEST(LogicalPlanVerifierTest, EmptyPlanIsFailedPrecondition) {
+  LogicalPlan plan;
+  auto report = RunVerifier(plan);
+  EXPECT_TRUE(
+      ReportHas(report, StatusCode::kFailedPrecondition, "plan is empty"));
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace sparkopt

@@ -1,0 +1,116 @@
+#include <memory>
+#include <vector>
+
+#include "analysis/verifier.h"
+#include "common/pareto.h"
+#include "gtest/gtest.h"
+#include "verifier_test_util.h"
+
+namespace sparkopt {
+namespace analysis {
+namespace {
+
+class StubVerifier : public Verifier {
+ public:
+  explicit StubVerifier(const char* name, bool applicable = true)
+      : name_(name), applicable_(applicable) {}
+  const char* name() const override { return name_; }
+  bool applicable(const VerifyInput&) const override { return applicable_; }
+  VerifyReport Verify(const VerifyInput& in) const override {
+    VerifyReport report = MakeReport(in);
+    report.Add(StatusCode::kInternal, "stub", "always fires");
+    return report;
+  }
+
+ private:
+  const char* name_;
+  bool applicable_;
+};
+
+TEST(VerifierRegistryTest, BuiltInHasAllPasses) {
+  const VerifierRegistry& reg = VerifierRegistry::BuiltIn();
+  EXPECT_EQ(reg.size(), 4u);
+  EXPECT_NE(reg.Find("logical_plan"), nullptr);
+  EXPECT_NE(reg.Find("physical_plan"), nullptr);
+  EXPECT_NE(reg.Find("pareto_front"), nullptr);
+  EXPECT_NE(reg.Find("execution_trace"), nullptr);
+  EXPECT_EQ(reg.Find("nonsense"), nullptr);
+}
+
+TEST(VerifierRegistryTest, RunUnknownNameIsNotFound) {
+  VerifyInput in;
+  auto result = VerifierRegistry::BuiltIn().Run("nonsense", in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(VerifierRegistryTest, RunWithoutInputIsFailedPrecondition) {
+  VerifyInput in;  // no artifacts at all
+  auto result = VerifierRegistry::BuiltIn().Run("pareto_front", in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(VerifierRegistryTest, RunByNameVerifies) {
+  std::vector<ObjectiveVector> front = {{1.0, 2.0}, {2.0, 3.0}};
+  VerifyInput in;
+  in.front = &front;
+  in.site = "registry_test";
+  auto result = VerifierRegistry::BuiltIn().Run("pareto_front", in);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->verifier, "pareto_front");
+  EXPECT_EQ(result->site, "registry_test");
+  EXPECT_TRUE(ReportHas(*result, StatusCode::kInternal, "dominated"));
+}
+
+TEST(VerifierRegistryTest, RunApplicableSkipsInapplicablePasses) {
+  std::vector<ObjectiveVector> front = {{1.0, 2.0}};
+  VerifyInput in;
+  in.front = &front;
+  auto reports = VerifierRegistry::BuiltIn().RunApplicable(in);
+  ASSERT_EQ(reports.size(), 1u);  // only the pareto pass applies
+  EXPECT_EQ(reports[0].verifier, "pareto_front");
+  EXPECT_TRUE(ReportClean(reports[0]));
+}
+
+TEST(VerifierRegistryTest, RegisterReplacesSameName) {
+  VerifierRegistry reg;
+  reg.Register(std::make_unique<StubVerifier>("pass"));
+  reg.Register(std::make_unique<StubVerifier>("pass"));
+  EXPECT_EQ(reg.size(), 1u);
+  auto result = reg.Run("pass", VerifyInput{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(ReportHas(*result, StatusCode::kInternal, "always fires"));
+}
+
+TEST(VerifierRegistryTest, NamesInRegistrationOrder) {
+  VerifierRegistry reg;
+  reg.Register(std::make_unique<StubVerifier>("b"));
+  reg.Register(std::make_unique<StubVerifier>("a"));
+  auto names = reg.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "b");
+  EXPECT_EQ(names[1], "a");
+}
+
+TEST(VerifierRegistryTest, ReportToStatusCarriesFirstViolation) {
+  StubVerifier v("stub_pass");
+  VerifyInput in;
+  in.site = "here";
+  auto report = v.Verify(in);
+  Status st = report.ToStatus();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.message().find("stub_pass"), std::string::npos);
+  EXPECT_NE(st.message().find("here"), std::string::npos);
+}
+
+TEST(VerifierRegistryTest, CleanReportToStatusIsOk) {
+  VerifyReport report;
+  EXPECT_TRUE(report.ToStatus().ok());
+  EXPECT_TRUE(report.ok());
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace sparkopt

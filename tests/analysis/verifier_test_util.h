@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+
+#include "analysis/verifier.h"
+#include "gtest/gtest.h"
+
+namespace sparkopt {
+namespace analysis {
+
+/// True when `report` contains a violation with `code` whose message
+/// contains `substr`.
+inline bool HasViolation(const VerifyReport& report, StatusCode code,
+                         const std::string& substr) {
+  for (const Violation& v : report.violations) {
+    if (v.code == code && v.message.find(substr) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// gtest predicate wrapper printing the full report on failure.
+inline ::testing::AssertionResult ReportHas(const VerifyReport& report,
+                                            StatusCode code,
+                                            const std::string& substr) {
+  if (HasViolation(report, code, substr)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << "expected a [" << Status::CodeName(code)
+         << "] violation containing \"" << substr << "\"; report was:\n"
+         << (report.ok() ? "  (clean)" : report.ToString());
+}
+
+inline ::testing::AssertionResult ReportClean(const VerifyReport& report) {
+  if (report.ok()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << report.ToString();
+}
+
+}  // namespace analysis
+}  // namespace sparkopt

@@ -1,0 +1,107 @@
+// End-to-end acceptance for the verification subsystem: every TPC-H and
+// TPC-DS workload plan — logical, physical (under several configurations),
+// and simulated execution trace — must come out clean from every built-in
+// verifier pass.
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/verifier.h"
+#include "common/rng.h"
+#include "exec/simulator.h"
+#include "gtest/gtest.h"
+#include "params/sampler.h"
+#include "params/spark_params.h"
+#include "physical/physical_plan.h"
+#include "plan/logical_plan.h"
+#include "verifier_test_util.h"
+#include "workload/tpcds.h"
+#include "workload/tpch.h"
+
+namespace sparkopt {
+namespace analysis {
+namespace {
+
+void ExpectAllPassesClean(const Query& q) {
+  const VerifierRegistry& reg = VerifierRegistry::BuiltIn();
+  const auto subqs = q.plan.DecomposeSubQueries();
+
+  VerifyInput lin;
+  lin.logical_plan = &q.plan;
+  lin.catalog = q.catalog;
+  lin.subqs = &subqs;
+  lin.site = q.name.c_str();
+  for (const auto& report : reg.RunApplicable(lin)) {
+    EXPECT_TRUE(ReportClean(report)) << q.name;
+  }
+
+  // Physical plans + traces under the default config and a few sampled
+  // ones (join algorithms and partitioning change with the config).
+  PhysicalPlanner planner(&q.plan, subqs);
+  Simulator sim(ClusterSpec{}, CostModelParams{});
+  Rng rng(7 + q.seed);
+  std::vector<std::vector<double>> confs = {DefaultSparkConfig()};
+  for (auto& c : SampleUniform(SparkParamSpace(), 3, &rng)) {
+    confs.push_back(std::move(c));
+  }
+  for (const auto& conf : confs) {
+    const ContextParams tc = DecodeContext(conf);
+    const PlanParams tp = DecodePlan(conf);
+    const StageParams ts = DecodeStage(conf);
+    auto pplan =
+        planner.Plan(tc, {tp}, {ts}, CardinalitySource::kEstimated);
+    ASSERT_TRUE(pplan.ok()) << q.name << ": " << pplan.status().ToString();
+
+    VerifyInput pin;
+    pin.physical_plan = &*pplan;
+    pin.logical_plan = &q.plan;
+    pin.site = q.name.c_str();
+    for (const auto& report : reg.RunApplicable(pin)) {
+      EXPECT_TRUE(ReportClean(report)) << q.name;
+    }
+
+    const QueryExecution exec = sim.RunAll(*pplan, tc, q.seed);
+    VerifyInput tin;
+    tin.execution = &exec;
+    tin.physical_plan = &*pplan;
+    tin.total_cores =
+        std::min(tc.TotalCores(), ClusterSpec{}.TotalCores());
+    tin.site = q.name.c_str();
+    for (const auto& report : reg.RunApplicable(tin)) {
+      EXPECT_TRUE(ReportClean(report)) << q.name;
+    }
+  }
+}
+
+TEST(WorkloadCleanTest, AllTpchPlansVerifyClean) {
+  auto catalog = TpchCatalog(10);
+  for (int qid = 1; qid <= 22; ++qid) {
+    auto q = MakeTpchQuery(qid, &catalog);
+    ASSERT_TRUE(q.ok()) << "TPC-H Q" << qid;
+    ExpectAllPassesClean(*q);
+  }
+}
+
+TEST(WorkloadCleanTest, TpchVariantsVerifyClean) {
+  auto catalog = TpchCatalog(10);
+  for (int qid = 1; qid <= 22; ++qid) {
+    for (uint64_t variant : {1u, 2u}) {
+      auto q = MakeTpchQuery(qid, &catalog, variant);
+      ASSERT_TRUE(q.ok()) << "TPC-H Q" << qid << " v" << variant;
+      ExpectAllPassesClean(*q);
+    }
+  }
+}
+
+TEST(WorkloadCleanTest, AllTpcdsPlansVerifyClean) {
+  auto catalog = TpcdsCatalog(10);
+  auto queries = TpcdsBenchmark(&catalog);
+  ASSERT_FALSE(queries.empty());
+  for (const auto& q : queries) {
+    ExpectAllPassesClean(q);
+  }
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace sparkopt

@@ -117,12 +117,21 @@ TEST(TunerTest, MethodNamesStable) {
 
 TEST(TunerTest, SolveTimeWithinCloudBudget) {
   // The paper's headline constraint: compile-time solving within 1-2 s.
+  // The budget only makes sense for optimized builds; instrumented builds
+  // (sanitizers, Debug, invariant verification) get generous headroom so
+  // the test still exercises the path without asserting on wall clock.
+#if defined(NDEBUG) && !defined(SPARKOPT_VERIFY) &&  \
+    !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
+  const double budget_s = 2.0;
+#else
+  const double budget_s = 60.0;
+#endif
   Tuner tuner(TunerOptions{});
   auto catalog = TpchCatalog(100);
   auto q = *MakeTpchQuery(9, &catalog);
   auto out = tuner.Run(q, TuningMethod::kHmooc3);
   ASSERT_TRUE(out.ok());
-  EXPECT_LT(out->solve_seconds, 2.0);
+  EXPECT_LT(out->solve_seconds, budget_s);
 }
 
 }  // namespace
