@@ -46,13 +46,25 @@ void RunBenchmarkSet(const char* name, const std::vector<Query>& queries) {
   t.AddRow({"avg overhead/query (s)", Fmt("%.3f", Mean(overhead_with)),
             Fmt("%.3f", Mean(overhead_without))});
   t.Print();
-  std::printf("calls eliminated: %.1f%%\n\n",
-              100.0 * (1.0 - static_cast<double>(sent_with) / potential));
+  const double eliminated =
+      1.0 - static_cast<double>(sent_with) / potential;
+  std::printf("calls eliminated: %.1f%%\n\n", 100.0 * eliminated);
+
+  obs::Json record{obs::JsonObject{}};
+  record.Set("benchmark", name);
+  record.Set("queries", queries.size());
+  record.Set("calls_with_pruning", static_cast<int64_t>(sent_with));
+  record.Set("calls_without_pruning", static_cast<int64_t>(potential));
+  record.Set("calls_eliminated_frac", eliminated);
+  record.Set("avg_overhead_with_s", Mean(overhead_with));
+  record.Set("avg_overhead_without_s", Mean(overhead_without));
+  EmitJson("runtime_overhead", record);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  TraceExport trace(argc, argv);
   std::printf(
       "==== Section 5.2: runtime optimization request pruning ====\n\n");
   const auto tpch = TpchCatalog(100.0);

@@ -3,17 +3,22 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/pareto.h"
 #include "moo/problem.h"
+#include "obs/json.h"
+#include "obs/trace.h"
 
 /// \file bench_util.h
 /// \brief Shared helpers for the experiment harnesses: fixed-width table
-/// printing, hypervolume against a shared per-query reference point, and
-/// a FAST-mode switch (SPARKOPT_BENCH_FAST=1) that shrinks workloads for
-/// smoke runs.
+/// printing, hypervolume against a shared per-query reference point, a
+/// FAST-mode switch (SPARKOPT_BENCH_FAST=1) that shrinks workloads for
+/// smoke runs, and the observability opt-in (--trace-out=<path> /
+/// SPARKOPT_TRACE_OUT) that installs an obs::Session and exports a
+/// Chrome trace when the harness exits.
 
 namespace sparkopt {
 namespace benchutil {
@@ -21,6 +26,52 @@ namespace benchutil {
 inline bool FastMode() {
   const char* v = std::getenv("SPARKOPT_BENCH_FAST");
   return v != nullptr && v[0] == '1';
+}
+
+/// \brief Harness observability opt-in. When `--trace-out=<path>` appears
+/// on the command line (or SPARKOPT_TRACE_OUT names a path), installs an
+/// obs::Session for the harness lifetime and writes the Chrome trace JSON
+/// there on destruction. Without the opt-in no session is installed, so
+/// instrumented hot paths stay at their one-atomic-load cost.
+class TraceExport {
+ public:
+  TraceExport(int argc, char** argv) {
+    static constexpr const char kFlag[] = "--trace-out=";
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind(kFlag, 0) == 0) path_ = arg.substr(sizeof(kFlag) - 1);
+    }
+    if (path_.empty()) {
+      const char* env = std::getenv("SPARKOPT_TRACE_OUT");
+      if (env != nullptr && env[0] != '\0') path_ = env;
+    }
+    if (!path_.empty()) session_ = std::make_unique<obs::Session>();
+  }
+  ~TraceExport() {
+    if (session_ == nullptr) return;
+    if (session_->trace().WriteChromeJson(path_)) {
+      std::fprintf(stderr, "trace: wrote %zu events to %s\n",
+                   session_->trace().size(), path_.c_str());
+    } else {
+      std::fprintf(stderr, "trace: failed to write %s\n", path_.c_str());
+    }
+  }
+  TraceExport(const TraceExport&) = delete;
+  TraceExport& operator=(const TraceExport&) = delete;
+
+  bool enabled() const { return session_ != nullptr; }
+  obs::Session* session() { return session_.get(); }
+
+ private:
+  std::string path_;
+  std::unique_ptr<obs::Session> session_;
+};
+
+/// Prints one machine-readable result record: `RESULT <name> <json>`.
+/// Downstream tooling greps for the RESULT prefix and parses the rest of
+/// the line with any JSON parser (or obs::Json::Parse).
+inline void EmitJson(const std::string& name, const obs::Json& payload) {
+  std::printf("RESULT %s %s\n", name.c_str(), payload.Dump().c_str());
 }
 
 /// Simple fixed-width text table.

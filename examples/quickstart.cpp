@@ -4,16 +4,29 @@
 /// latency-leaning preference, and compare against the Spark defaults.
 ///
 ///   ./quickstart [tpch_query_id]
+///
+/// Set SPARKOPT_TRACE_OUT=<path> to record the session and export a
+/// Chrome trace_event JSON viewable in chrome://tracing or Perfetto.
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
+#include "obs/trace.h"
 #include "tuner/tuner.h"
 #include "workload/tpch.h"
 
 int main(int argc, char** argv) {
   using namespace sparkopt;
   const int qid = argc > 1 ? std::atoi(argv[1]) : 9;
+
+  // Optional observability: a session records spans and metrics from
+  // every instrumented layer while it is alive.
+  const char* trace_out = std::getenv("SPARKOPT_TRACE_OUT");
+  std::unique_ptr<obs::Session> session;
+  if (trace_out != nullptr && trace_out[0] != '\0') {
+    session = std::make_unique<obs::Session>();
+  }
 
   // 1. A workload: TPC-H at scale factor 100 (the paper's setup).
   const auto catalog = TpchCatalog(100.0);
@@ -54,5 +67,15 @@ int main(int argc, char** argv) {
   std::printf("latency reduction: %.0f%%\n",
               100.0 * (1.0 - tuned.execution.exec.latency /
                                  baseline.execution.exec.latency));
+
+  if (session != nullptr) {
+    if (session->trace().WriteChromeJson(trace_out)) {
+      std::printf("trace: wrote %zu events to %s\n",
+                  session->trace().size(), trace_out);
+    } else {
+      std::fprintf(stderr, "trace: failed to write %s\n", trace_out);
+      return 1;
+    }
+  }
   return 0;
 }

@@ -1,0 +1,73 @@
+/// \file trace_session.cpp
+/// \brief Observability walkthrough: tune one TPC-H query end-to-end
+/// under an obs::Session, export the Chrome trace (chrome://tracing /
+/// Perfetto), and print the aggregated TuningReport as text and JSON.
+///
+///   ./trace_session [tpch_query_id] [trace_path] [report_path]
+///
+/// Defaults: query 9, trace.json, no report file (report JSON prints to
+/// stdout only).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "tuner/tuner.h"
+#include "workload/tpch.h"
+
+int main(int argc, char** argv) {
+  using namespace sparkopt;
+  const int qid = argc > 1 ? std::atoi(argv[1]) : 9;
+  const std::string trace_path = argc > 2 ? argv[2] : "trace.json";
+  const std::string report_path = argc > 3 ? argv[3] : "";
+
+  const auto catalog = TpchCatalog(100.0);
+  auto query_or = MakeTpchQuery(qid, &catalog);
+  if (!query_or.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 query_or.status().ToString().c_str());
+    return 1;
+  }
+  const Query& query = *query_or;
+
+  TunerOptions options;
+  options.preference = {0.9, 0.1};
+  Tuner tuner(options);
+
+  // Everything that runs while the session is alive — compile-time
+  // solving, runtime re-optimization, model inference, the simulator —
+  // records spans and metrics into it.
+  obs::Session session;
+  auto out = tuner.Run(query, TuningMethod::kHmooc3Plus);
+  if (!out.ok()) {
+    std::fprintf(stderr, "error: %s\n", out.status().ToString().c_str());
+    return 1;
+  }
+
+  const obs::TuningReport report = BuildTuningReport(*out, session);
+  std::printf("%s\n", report.ToText().c_str());
+  std::printf("---- report json ----\n%s\n", report.ToJson().c_str());
+
+  if (!session.trace().WriteChromeJson(trace_path)) {
+    std::fprintf(stderr, "trace: failed to write %s\n", trace_path.c_str());
+    return 1;
+  }
+  std::printf("trace: wrote %zu events to %s (open in chrome://tracing)\n",
+              session.trace().size(), trace_path.c_str());
+
+  if (!report_path.empty()) {
+    std::FILE* f = std::fopen(report_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "report: failed to open %s\n",
+                   report_path.c_str());
+      return 1;
+    }
+    const std::string body = report.ToJson();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("report: wrote %s\n", report_path.c_str());
+  }
+  return 0;
+}

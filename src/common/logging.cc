@@ -1,9 +1,11 @@
 #include "common/logging.h"
 
+#include <atomic>
+
 namespace sparkopt {
 
 namespace {
-LogLevel g_level = LogLevel::kWarning;
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -16,8 +18,10 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 namespace internal {
 
@@ -27,7 +31,8 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) >= static_cast<int>(g_level)) {
+  if (static_cast<int>(level_) >=
+      static_cast<int>(g_level.load(std::memory_order_relaxed))) {
     std::fprintf(stderr, "%s\n", ss_.str().c_str());
   }
 }

@@ -15,8 +15,8 @@ namespace sparkopt {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Sets the global minimum level that is emitted. Not thread safe; set it
-/// once at startup.
+/// Sets the global minimum level that is emitted. Thread safe: the level
+/// is an atomic, so concurrent sessions may adjust it at any time.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 

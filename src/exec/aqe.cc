@@ -5,6 +5,7 @@
 #include "analysis/invariants.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 
 namespace sparkopt {
 
@@ -25,6 +26,7 @@ Result<AqeResult> AqeDriver::Run(const ContextParams& theta_c,
   AqeHooks default_hooks;
   if (hooks == nullptr) hooks = &default_hooks;
 
+  obs::Span run_span("aqe.run");
   if (!adaptive) {
     // Plan once from estimates, execute the whole DAG in one simulation
     // (random task interleaving across independent stages).
@@ -44,9 +46,14 @@ Result<AqeResult> AqeDriver::Run(const ContextParams& theta_c,
 
   int wave = 0;
   while (true) {
+    obs::Span wave_span("aqe.wave");
+    wave_span.Arg("wave", wave);
     // Re-plan the remaining query with true stats for completed subQs.
+    obs::Span replan_span("aqe.replan");
     auto plan_or = planner.Plan(theta_c, theta_p, theta_s,
                                 CardinalitySource::kEstimated, completed);
+    replan_span.End();
+    obs::Count("aqe.replans");
     if (!plan_or.ok()) return plan_or.status();
     PhysicalPlan& pplan = *plan_or;
     ++result.replans;
@@ -100,8 +107,10 @@ Result<AqeResult> AqeDriver::Run(const ContextParams& theta_c,
       }
     }
     if (theta_s_changed) {
+      obs::Span respan("aqe.replan");
       auto replanned = planner.Plan(theta_c, theta_p, theta_s,
                                     CardinalitySource::kEstimated, completed);
+      obs::Count("aqe.replans");
       if (!replanned.ok()) return replanned.status();
       pplan = std::move(*replanned);
       // Ready ids remain valid: stage formation depends on join algos and
@@ -151,6 +160,7 @@ Result<AqeResult> AqeDriver::Run(const ContextParams& theta_c,
     }
     ++wave;
     ++result.waves;
+    obs::Count("aqe.waves");
 
     bool all_done = true;
     for (bool c : completed) {

@@ -96,6 +96,21 @@ double TaskCostModel::TaskLatency(const QueryStage& stage, int task_idx,
   return latency;
 }
 
+bool TaskCostModel::TaskSpills(const QueryStage& stage, int task_idx,
+                               const ContextParams& theta_c) const {
+  const double stage_bytes = std::max(stage.input_bytes, 1.0);
+  const double part_bytes =
+      task_idx < static_cast<int>(stage.partition_bytes.size())
+          ? stage.partition_bytes[task_idx]
+          : stage_bytes / std::max(stage.num_partitions, 1);
+  // Must mirror the memory-pressure rule in TaskLatency.
+  double working_mb = part_bytes / kMb;
+  if (stage.has_join || stage.sort_work > 0.0) working_mb *= 1.6;
+  working_mb += stage.broadcast_bytes / kMb;
+  const double mem_mb = std::max(theta_c.MemoryPerTaskMb(), 64.0);
+  return working_mb > mem_mb;
+}
+
 double TaskCostModel::StageSetupLatency(const QueryStage& stage,
                                         const ContextParams& theta_c) const {
   double setup = params_.stage_overhead_s;

@@ -56,6 +56,12 @@ class TaskCostModel {
   double StageIoBytes(const QueryStage& stage,
                       const ContextParams& theta_c) const;
 
+  /// Whether task `task_idx` of `stage` exceeds its execution memory and
+  /// spills (the memory-pressure rule inside TaskLatency), for
+  /// observability counters.
+  bool TaskSpills(const QueryStage& stage, int task_idx,
+                  const ContextParams& theta_c) const;
+
   const CostModelParams& params() const { return params_; }
   const ClusterSpec& cluster() const { return cluster_; }
 

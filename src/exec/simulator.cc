@@ -7,6 +7,7 @@
 #include "analysis/invariants.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 
 namespace sparkopt {
 
@@ -32,6 +33,7 @@ QueryExecution Simulator::RunStages(const PhysicalPlan& plan,
                                     uint64_t noise_seed,
                                     uint64_t interleave_seed) const {
   QueryExecution result;
+  obs::Span span("sim.run_stages");
   const int total_cores =
       std::min(theta_c.TotalCores(), cost_model_.cluster().TotalCores());
 
@@ -197,6 +199,32 @@ QueryExecution Simulator::RunStages(const PhysicalPlan& plan,
     result.stages.push_back(ps.record);
   }
   result.latency = makespan;
+
+  // Observability: per-session execution counters. Spill detection walks
+  // every partition, so the loop runs only when a sink is attached.
+  if (obs::Session* sess = obs::Session::Current()) {
+    uint64_t tasks = 0, spilled = 0;
+    double shuffle_bytes = 0.0;
+    for (const auto& ps : pending) {
+      tasks += static_cast<uint64_t>(ps.record.num_tasks);
+      shuffle_bytes += ps.stage->shuffle_read_bytes;
+      for (int t = 0; t < ps.stage->num_partitions; ++t) {
+        if (cost_model_.TaskSpills(*ps.stage, t, theta_c)) ++spilled;
+      }
+    }
+    auto& m = sess->metrics();
+    m.counter("sim.stages").Add(pending.size());
+    m.counter("sim.tasks").Add(tasks);
+    m.counter("sim.spilled_tasks").Add(spilled);
+    m.counter("sim.runs").Add(1);
+    m.gauge("sim.shuffle_read_bytes").Add(shuffle_bytes);
+    m.gauge("sim.io_bytes").Add(result.io_bytes);
+    m.gauge("sim.last_makespan_s").Set(makespan);
+    m.gauge("sim.last_stage_count").Set(static_cast<double>(pending.size()));
+    span.Arg("stages", static_cast<double>(pending.size()));
+    span.Arg("tasks", static_cast<double>(tasks));
+    span.Arg("makespan_s", makespan);
+  }
   FinalizeCost(theta_c, &result);
   SPARKOPT_VERIFY_TRACE(result, &plan, total_cores, "Simulator::RunStages");
   return result;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace sparkopt {
 
 namespace {
@@ -185,6 +187,8 @@ SubQObjectives SubQEvaluator::Evaluate(
     int subq_id, const ContextParams& theta_c, const PlanParams& theta_p,
     const StageParams& theta_s, CardinalitySource source,
     const std::vector<bool>* completed_subqs) const {
+  obs::Count("model.inferences");
+  obs::ScopedHistogramTimer timer(obs::HistogramFor("model.inference_us"));
   const QueryStage st = BuildStage(subq_id, theta_c, theta_p, theta_s,
                                    source, completed_subqs);
   const int cores = std::min(theta_c.TotalCores(),

@@ -10,6 +10,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "moo/kmeans.h"
+#include "obs/trace.h"
 #include "params/sampler.h"
 
 namespace sparkopt {
@@ -228,10 +229,12 @@ void AggregateDivideAndConquer(const EffectiveSet& eff, int candidate,
 }  // namespace
 
 MooRunResult HmoocSolver::Solve() const {
+  obs::Span span("hmooc.solve");
   const auto t0 = std::chrono::steady_clock::now();
   const size_t evals_before = model_->eval_count();
   Rng rng(opts_.seed);
   const int m = model_->num_subqs();
+  span.Arg("subqs", m);
 
   const auto& space = SparkParamSpace();
   const ParamSpace c_space = space.Subspace(ParamCategory::kContext);
@@ -243,6 +246,7 @@ MooRunResult HmoocSolver::Solve() const {
   const ParamSpace ps_space(std::move(ps_specs));
 
   // ---- Step 1: theta_c candidates ---------------------------------------
+  obs::Span sample_span("hmooc.sample_theta_c");
   std::vector<std::vector<double>> theta_c;
   if (opts_.grid_init) {
     theta_c = SampleGrid(c_space, 2,
@@ -260,15 +264,23 @@ MooRunResult HmoocSolver::Solve() const {
         opts_.search_margin);
   }
 
+  sample_span.Arg("candidates", static_cast<double>(theta_c.size()));
+  sample_span.End();
+
   // ---- Step 2: cluster theta_c ------------------------------------------
+  obs::Span cluster_span("hmooc.cluster_theta_c");
   std::vector<std::vector<double>> c_unit;
   c_unit.reserve(theta_c.size());
   for (const auto& c : theta_c) c_unit.push_back(c_space.Normalize(c));
   const KMeansResult km = KMeans(c_unit, opts_.clusters, 20,
                                  HashCombine(opts_.seed, 0xC1));
   const int n_clusters = static_cast<int>(km.centroids.size());
+  cluster_span.Arg("clusters", n_clusters);
+  cluster_span.End();
+  obs::Count("hmooc.clusters", static_cast<uint64_t>(n_clusters));
 
   // ---- Step 3: theta_p MOO per representative ---------------------------
+  obs::Span subq_span("hmooc.subq_solve");
   const auto pool = SampleLatinHypercube(
       ps_space, static_cast<size_t>(opts_.theta_p_samples), &rng,
       opts_.search_margin);
@@ -322,7 +334,11 @@ MooRunResult HmoocSolver::Solve() const {
   EffectiveSet eff;
   std::vector<std::vector<double>> all_theta_c = theta_c;
   evaluate_members(theta_c, km.assignment, &eff);
+  subq_span.Arg("evaluations",
+                static_cast<double>(model_->eval_count() - evals_before));
+  subq_span.End();
 
+  obs::Span enrich_span("hmooc.enrich_theta_c");
   if (opts_.enriched_samples > 0 && theta_c.size() >= 2) {
     // theta_c crossover (Appendix C.1): one-point Cartesian recombination
     // of existing candidates.
@@ -347,7 +363,10 @@ MooRunResult HmoocSolver::Solve() const {
     all_theta_c.insert(all_theta_c.end(), enriched.begin(), enriched.end());
   }
 
+  enrich_span.End();
+
   // ---- Step 6: DAG aggregation -------------------------------------------
+  obs::Span merge_span("hmooc.dag_merge");
   std::vector<AggregatedPoint> points;
   for (size_t c = 0; c < eff.size(); ++c) {
     switch (opts_.aggregation) {
@@ -364,7 +383,13 @@ MooRunResult HmoocSolver::Solve() const {
     }
   }
 
+  merge_span.Arg("candidates", static_cast<double>(eff.size()));
+  merge_span.Arg("points", static_cast<double>(points.size()));
+  merge_span.End();
+  obs::Count("hmooc.aggregated_points", points.size());
+
   // ---- Step 7: query-level Pareto filter + solution assembly -----------
+  obs::Span filter_span("hmooc.pareto_filter");
   std::vector<ObjectiveVector> fs;
   fs.reserve(points.size());
   for (const auto& p : points) fs.push_back(p.f);
@@ -395,10 +420,14 @@ MooRunResult HmoocSolver::Solve() const {
   for (const auto& sol : result.pareto) final_front.push_back(sol.objectives);
   SPARKOPT_VERIFY_FRONT(final_front, "HmoocSolver::Solve (query front)");
 #endif
+  filter_span.End();
   result.solve_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   result.evaluations = model_->eval_count() - evals_before;
+  obs::Count("hmooc.solves");
+  obs::Count("hmooc.model_evals", result.evaluations);
+  obs::Count("hmooc.pareto_points", result.pareto.size());
   return result;
 }
 

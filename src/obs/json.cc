@@ -1,0 +1,327 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sparkopt {
+namespace obs {
+
+namespace {
+
+void AppendNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no Infinity/NaN; null is the least-surprising encoding.
+    out->append("null");
+    return;
+  }
+  char buf[32];
+  // Integers (the common case: counters, counts) print without a
+  // fractional part; everything else keeps full round-trip precision.
+  if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out->append(buf);
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Result<Json> Run() {
+    auto v = ParseValue();
+    if (!v.ok()) return v;
+    SkipWs();
+    if (pos_ != s_.size()) {
+      return Status::InvalidArgument("json: trailing characters at offset " +
+                                     std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Fail(const std::string& what) {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue() {
+    SkipWs();
+    if (pos_ >= s_.size()) return Fail("unexpected end of input");
+    const char c = s_[pos_];
+    switch (c) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': {
+        auto str = ParseString();
+        if (!str.ok()) return str.status();
+        return Json(std::move(*str));
+      }
+      case 't':
+        if (s_.compare(pos_, 4, "true") == 0) {
+          pos_ += 4;
+          return Json(true);
+        }
+        return Fail("bad literal");
+      case 'f':
+        if (s_.compare(pos_, 5, "false") == 0) {
+          pos_ += 5;
+          return Json(false);
+        }
+        return Fail("bad literal");
+      case 'n':
+        if (s_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          return Json();
+        }
+        return Fail("bad literal");
+      default: return ParseNumber();
+    }
+  }
+
+  Result<Json> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    bool any = false;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+      any = true;
+    }
+    if (!any) return Fail("bad number");
+    const std::string tok = s_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("bad number");
+    return Json(v);
+  }
+
+  Result<std::string> ParseString() {
+    SkipWs();
+    if (pos_ >= s_.size() || s_[pos_] != '"') return Fail("expected string");
+    ++pos_;
+    std::string out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return Fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("bad \\u escape");
+          }
+          // Basic-plane UTF-8 encoding (no surrogate-pair support).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return Fail("bad escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Result<Json> ParseArray() {
+    ++pos_;  // '['
+    JsonArray arr;
+    SkipWs();
+    if (Consume(']')) return Json(std::move(arr));
+    while (true) {
+      auto v = ParseValue();
+      if (!v.ok()) return v;
+      arr.push_back(std::move(*v));
+      if (Consume(',')) continue;
+      if (Consume(']')) return Json(std::move(arr));
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  Result<Json> ParseObject() {
+    ++pos_;  // '{'
+    JsonObject obj;
+    SkipWs();
+    if (Consume('}')) return Json(std::move(obj));
+    while (true) {
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      if (!Consume(':')) return Fail("expected ':'");
+      auto v = ParseValue();
+      if (!v.ok()) return v;
+      obj.emplace_back(std::move(*key), std::move(*v));
+      if (Consume(',')) continue;
+      if (Consume('}')) return Json(std::move(obj));
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonQuote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out.append("\\\""); break;
+      case '\\': out.append("\\\\"); break;
+      case '\b': out.append("\\b"); break;
+      case '\f': out.append("\\f"); break;
+      case '\n': out.append("\\n"); break;
+      case '\r': out.append("\\r"); break;
+      case '\t': out.append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double Json::GetNumber(const std::string& key, double fallback) const {
+  const Json* v = Find(key);
+  return v != nullptr && v->is_number() ? v->as_double() : fallback;
+}
+
+std::string Json::GetString(const std::string& key,
+                            std::string fallback) const {
+  const Json* v = Find(key);
+  return v != nullptr && v->is_string() ? v->as_string()
+                                        : std::move(fallback);
+}
+
+void Json::Set(std::string key, Json value) {
+  if (type_ != Type::kObject) {
+    type_ = Type::kObject;
+    obj_.clear();
+  }
+  obj_.emplace_back(std::move(key), std::move(value));
+}
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  std::string pad, pad_close;
+  if (indent > 0) {
+    pad.assign(1, '\n');
+    pad.append(static_cast<size_t>(indent) * (depth + 1), ' ');
+    pad_close.assign(1, '\n');
+    pad_close.append(static_cast<size_t>(indent) * depth, ' ');
+  }
+  switch (type_) {
+    case Type::kNull: out->append("null"); break;
+    case Type::kBool: out->append(bool_ ? "true" : "false"); break;
+    case Type::kNumber: AppendNumber(out, num_); break;
+    case Type::kString: out->append(JsonQuote(str_)); break;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        out->append("[]");
+        break;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        out->append(pad);
+        arr_[i].DumpTo(out, indent, depth + 1);
+      }
+      out->append(pad_close);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        out->append("{}");
+        break;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < obj_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        out->append(pad);
+        out->append(JsonQuote(obj_[i].first));
+        out->append(indent > 0 ? ": " : ":");
+        obj_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      out->append(pad_close);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+Result<Json> Json::Parse(const std::string& text) {
+  return Parser(text).Run();
+}
+
+}  // namespace obs
+}  // namespace sparkopt

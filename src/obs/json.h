@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file json.h
+/// \brief A minimal JSON value: enough to serialize metrics, traces and
+/// tuning reports, and to parse them back for round-trips and validation.
+///
+/// This is deliberately small — no streaming, no comments, no surrogate
+/// pairs — because the only producers and consumers are this repository's
+/// own exporters and tests. Numbers are stored as double; object keys
+/// keep insertion order so serialized output is stable across runs.
+
+namespace sparkopt {
+namespace obs {
+
+class Json;
+using JsonArray = std::vector<Json>;
+/// Insertion-ordered object representation.
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+
+/// \brief A JSON value (null, bool, number, string, array or object).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}          // NOLINT
+  Json(double v) : type_(Type::kNumber), num_(v) {}       // NOLINT
+  Json(int v) : Json(static_cast<double>(v)) {}           // NOLINT
+  Json(int64_t v) : Json(static_cast<double>(v)) {}       // NOLINT
+  Json(uint64_t v) : Json(static_cast<double>(v)) {}      // NOLINT
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : Json(std::string(s)) {}           // NOLINT
+  Json(JsonArray a) : type_(Type::kArray), arr_(std::move(a)) {}     // NOLINT
+  Json(JsonObject o) : type_(Type::kObject), obj_(std::move(o)) {}   // NOLINT
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_double() const { return num_; }
+  int64_t as_int() const { return static_cast<int64_t>(num_); }
+  const std::string& as_string() const { return str_; }
+  const JsonArray& as_array() const { return arr_; }
+  const JsonObject& as_object() const { return obj_; }
+  JsonArray& as_array() { return arr_; }
+  JsonObject& as_object() { return obj_; }
+
+  /// Object lookup; returns nullptr when absent or not an object.
+  const Json* Find(const std::string& key) const;
+  /// Object lookup with a default for absent keys.
+  double GetNumber(const std::string& key, double fallback = 0.0) const;
+  std::string GetString(const std::string& key,
+                        std::string fallback = "") const;
+
+  /// Appends a key/value pair (object values only).
+  void Set(std::string key, Json value);
+
+  /// Serializes; `indent` > 0 pretty-prints with that many spaces.
+  std::string Dump(int indent = 0) const;
+
+  /// Parses a complete JSON document (trailing garbage is an error).
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  JsonArray arr_;
+  JsonObject obj_;
+};
+
+/// Escapes a string for embedding in JSON output (adds quotes).
+std::string JsonQuote(const std::string& s);
+
+}  // namespace obs
+}  // namespace sparkopt

@@ -1,0 +1,187 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <mutex>
+
+namespace sparkopt {
+namespace obs {
+
+namespace {
+
+// fetch_add on atomic<double> is C++20 but not universally lock-free;
+// a CAS loop is portable and the contention here is negligible.
+void AtomicAdd(std::atomic<double>* a, double delta) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + delta,
+                                   std::memory_order_relaxed)) {
+  }
+}
+
+int BucketIndex(double v) {
+  if (!(v > Histogram::kFirstBound)) return 0;  // also catches NaN, <= 0
+  const double octaves = std::log2(v / Histogram::kFirstBound);
+  const int idx = static_cast<int>(std::ceil(octaves * Histogram::kSubBuckets));
+  return std::min(std::max(idx, 1), Histogram::kNumBuckets - 1);
+}
+
+}  // namespace
+
+void Gauge::Add(double delta) { AtomicAdd(&v_, delta); }
+
+void Histogram::Observe(double v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, v);
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::BucketUpperBound(int i) {
+  if (i <= 0) return kFirstBound;
+  if (i >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  return kFirstBound * std::exp2(static_cast<double>(i) / kSubBuckets);
+}
+
+double Histogram::Percentile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the q-th value (1-based, nearest-rank definition).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(n))));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      if (i == 0) return kFirstBound;
+      if (i == kNumBuckets - 1) return BucketUpperBound(kNumBuckets - 2);
+      // Geometric midpoint of (lower, upper] halves the log-scale error.
+      const double lower = BucketUpperBound(i - 1);
+      const double upper = BucketUpperBound(i);
+      return std::sqrt(lower * upper);
+    }
+  }
+  return BucketUpperBound(kNumBuckets - 2);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(kNumBuckets);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = counters_.find(name);
+    if (it != counters_.end()) return *it->second;
+  }
+  std::unique_lock lock(mu_);
+  auto& slot = counters_[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = gauges_.find(name);
+    if (it != gauges_.end()) return *it->second;
+  }
+  std::unique_lock lock(mu_);
+  auto& slot = gauges_[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = histograms_.find(name);
+    if (it != histograms_.end()) return *it->second;
+  }
+  std::unique_lock lock(mu_);
+  auto& slot = histograms_[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  std::shared_lock lock(mu_);
+  auto it = counters_.find(name);
+  return it != counters_.end() ? it->second.get() : nullptr;
+}
+
+const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
+  std::shared_lock lock(mu_);
+  auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second.get() : nullptr;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    std::string_view name) const {
+  std::shared_lock lock(mu_);
+  auto it = histograms_.find(name);
+  return it != histograms_.end() ? it->second.get() : nullptr;
+}
+
+HistogramStats MetricsRegistry::StatsOf(std::string_view name) const {
+  HistogramStats st;
+  const Histogram* h = FindHistogram(name);
+  if (h == nullptr) return st;
+  st.count = h->count();
+  st.sum = h->sum();
+  st.mean = h->Mean();
+  st.p50 = h->Percentile(0.50);
+  st.p95 = h->Percentile(0.95);
+  st.p99 = h->Percentile(0.99);
+  return st;
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  const Counter* c = FindCounter(name);
+  return c != nullptr ? c->value() : 0;
+}
+
+double MetricsRegistry::GaugeValue(std::string_view name) const {
+  const Gauge* g = FindGauge(name);
+  return g != nullptr ? g->value() : 0.0;
+}
+
+Json MetricsRegistry::ToJsonValue() const {
+  std::shared_lock lock(mu_);
+  JsonObject counters;
+  for (const auto& [name, c] : counters_) {
+    counters.emplace_back(name, Json(c->value()));
+  }
+  JsonObject gauges;
+  for (const auto& [name, g] : gauges_) {
+    gauges.emplace_back(name, Json(g->value()));
+  }
+  JsonObject hists;
+  for (const auto& [name, h] : histograms_) {
+    JsonObject st;
+    st.emplace_back("count", Json(h->count()));
+    st.emplace_back("sum", Json(h->sum()));
+    st.emplace_back("mean", Json(h->Mean()));
+    st.emplace_back("p50", Json(h->Percentile(0.50)));
+    st.emplace_back("p95", Json(h->Percentile(0.95)));
+    st.emplace_back("p99", Json(h->Percentile(0.99)));
+    hists.emplace_back(name, Json(std::move(st)));
+  }
+  JsonObject root;
+  root.emplace_back("counters", Json(std::move(counters)));
+  root.emplace_back("gauges", Json(std::move(gauges)));
+  root.emplace_back("histograms", Json(std::move(hists)));
+  return Json(std::move(root));
+}
+
+}  // namespace obs
+}  // namespace sparkopt

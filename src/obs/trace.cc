@@ -1,0 +1,138 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace sparkopt {
+namespace obs {
+
+namespace {
+
+std::atomic<Session*> g_current{nullptr};
+
+// Dense per-thread ids for the trace "tid" field, plus the span nesting
+// depth of the calling thread.
+int ThreadId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+int& ThreadDepth() {
+  thread_local int depth = 0;
+  return depth;
+}
+
+}  // namespace
+
+// ---- Trace -------------------------------------------------------------
+
+void Trace::Add(TraceEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> Trace::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t Trace::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string Trace::ToChromeJson() const {
+  const auto events = Events();
+  JsonArray arr;
+  arr.reserve(events.size());
+  for (const auto& ev : events) {
+    JsonObject e;
+    e.emplace_back("name", Json(ev.name));
+    e.emplace_back("cat", Json("sparkopt"));
+    e.emplace_back("ph", Json(std::string(1, ev.phase)));
+    e.emplace_back("ts", Json(ev.ts_us));
+    if (ev.phase == 'X') e.emplace_back("dur", Json(ev.dur_us));
+    e.emplace_back("pid", Json(1));
+    e.emplace_back("tid", Json(ev.tid));
+    JsonObject args;
+    args.emplace_back("depth", Json(ev.depth));
+    for (const auto& [k, v] : ev.args) args.emplace_back(k, Json(v));
+    e.emplace_back("args", Json(std::move(args)));
+    arr.push_back(Json(std::move(e)));
+  }
+  JsonObject root;
+  root.emplace_back("traceEvents", Json(std::move(arr)));
+  root.emplace_back("displayTimeUnit", Json("ms"));
+  return Json(std::move(root)).Dump(1);
+}
+
+bool Trace::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = ToChromeJson();
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == body.size();
+  return ok;
+}
+
+// ---- Session -----------------------------------------------------------
+
+Session::Session() : start_(std::chrono::steady_clock::now()) {
+  prev_ = g_current.load(std::memory_order_relaxed);
+  g_current.store(this, std::memory_order_release);
+}
+
+Session::~Session() { g_current.store(prev_, std::memory_order_release); }
+
+Session* Session::Current() {
+  return g_current.load(std::memory_order_relaxed);
+}
+
+double Session::NowMicros() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+// ---- Span --------------------------------------------------------------
+
+Span::Span(const char* name) : name_(name), session_(Session::Current()) {
+  if (session_ == nullptr) return;
+  depth_ = ThreadDepth()++;
+  start_ = std::chrono::steady_clock::now();
+  start_us_ = session_->NowMicros();
+}
+
+Span::~Span() { End(); }
+
+void Span::End() {
+  if (session_ == nullptr) return;
+  --ThreadDepth();
+  TraceEvent ev;
+  ev.name = name_;
+  ev.phase = 'X';
+  ev.ts_us = start_us_;
+  ev.dur_us = std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+  ev.tid = ThreadId();
+  ev.depth = depth_;
+  ev.args = std::move(args_);
+  session_->trace().Add(std::move(ev));
+  session_ = nullptr;
+}
+
+void Span::Arg(const char* key, double value) {
+  if (session_ == nullptr) return;
+  args_.emplace_back(key, value);
+}
+
+double Span::Seconds() const {
+  if (session_ == nullptr) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+}  // namespace obs
+}  // namespace sparkopt

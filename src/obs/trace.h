@@ -1,0 +1,176 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+/// \file trace.h
+/// \brief Per-session tracing: RAII `Span` scoped timers recording into a
+/// `Trace`, exported as Chrome `trace_event` JSON (loadable in
+/// `chrome://tracing` and Perfetto), plus the `Session` sink that makes
+/// the whole subsystem near-zero-cost when observability is off.
+///
+/// Instrumentation is compiled in unconditionally. Every instrumented
+/// call site starts with one relaxed atomic load (`Session::Current()`);
+/// with no session installed that load-and-branch is the entire cost, so
+/// hot paths need no #ifdef gating. When a session is installed, spans
+/// take two steady_clock reads plus one mutex-guarded event append, and
+/// metric helpers take a shared-lock lookup plus a relaxed increment.
+///
+/// Sessions are installed process-globally (stacked; destruction restores
+/// the previous one). Install a session before spawning worker threads
+/// and keep it alive until they finish; the recording itself is
+/// thread-safe.
+
+namespace sparkopt {
+namespace obs {
+
+/// One Chrome trace_event entry. Complete ("X") events carry a duration;
+/// instant ("i") events do not.
+struct TraceEvent {
+  std::string name;
+  char phase = 'X';       ///< 'X' complete, 'i' instant
+  double ts_us = 0.0;     ///< start, microseconds since session start
+  double dur_us = 0.0;    ///< duration ('X' only)
+  int tid = 0;            ///< recording thread (dense ids from 0)
+  int depth = 0;          ///< span nesting depth on that thread
+  std::vector<std::pair<std::string, double>> args;
+};
+
+/// \brief Ordered collection of trace events for one session.
+class Trace {
+ public:
+  void Add(TraceEvent ev);
+  /// Thread-safe snapshot of the events recorded so far.
+  std::vector<TraceEvent> Events() const;
+  size_t size() const;
+
+  /// Chrome trace_event JSON: {"traceEvents": [...], "displayTimeUnit":
+  /// "ms"}. Loadable in chrome://tracing and Perfetto.
+  std::string ToChromeJson() const;
+  /// Writes ToChromeJson() to `path`; false on IO failure.
+  bool WriteChromeJson(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// \brief The active observability sink: a metrics registry + a trace.
+///
+/// Constructing a Session installs it as the process-global sink;
+/// destruction restores the previously installed one (sessions nest).
+class Session {
+ public:
+  Session();
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// The innermost installed session, or nullptr (one relaxed load).
+  static Session* Current();
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  Trace& trace() { return trace_; }
+  const Trace& trace() const { return trace_; }
+
+  /// Microseconds elapsed since this session was installed.
+  double NowMicros() const;
+
+ private:
+  MetricsRegistry metrics_;
+  Trace trace_;
+  std::chrono::steady_clock::time_point start_;
+  Session* prev_ = nullptr;
+};
+
+/// \brief RAII scoped timer: records a complete ("X") trace event from
+/// construction to destruction, tagged with thread id and nesting depth.
+///
+/// `name` must outlive the span (string literals in practice). A span
+/// constructed with no session installed is inert.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a numeric argument shown in the trace viewer.
+  void Arg(const char* key, double value);
+
+  /// Ends the span now (records the event); for phases that do not align
+  /// with a C++ scope. Destruction after End() is a no-op.
+  void End();
+
+  /// Seconds elapsed so far (0 when inert).
+  double Seconds() const;
+  bool active() const { return session_ != nullptr; }
+
+ private:
+  const char* name_;
+  Session* session_;
+  std::chrono::steady_clock::time_point start_;
+  double start_us_ = 0.0;
+  int depth_ = 0;
+  std::vector<std::pair<std::string, double>> args_;
+};
+
+/// \brief Like Span, but records elapsed microseconds into a histogram
+/// (and bumps `<name>.count`) instead of the trace — for call sites too
+/// hot or too numerous for one trace event each (e.g. model inference).
+class ScopedHistogramTimer {
+ public:
+  explicit ScopedHistogramTimer(Histogram* hist)
+      : hist_(hist),
+        start_(hist != nullptr ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point()) {}
+  ~ScopedHistogramTimer() {
+    if (hist_ == nullptr) return;
+    hist_->Observe(std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count());
+  }
+  ScopedHistogramTimer(const ScopedHistogramTimer&) = delete;
+  ScopedHistogramTimer& operator=(const ScopedHistogramTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// ---- Cheap metric helpers (one relaxed load when no session) -----------
+
+inline void Count(const char* name, uint64_t delta = 1) {
+  if (Session* s = Session::Current()) s->metrics().counter(name).Add(delta);
+}
+
+inline void GaugeSet(const char* name, double value) {
+  if (Session* s = Session::Current()) s->metrics().gauge(name).Set(value);
+}
+
+inline void GaugeAdd(const char* name, double delta) {
+  if (Session* s = Session::Current()) s->metrics().gauge(name).Add(delta);
+}
+
+inline void Observe(const char* name, double value) {
+  if (Session* s = Session::Current()) {
+    s->metrics().histogram(name).Observe(value);
+  }
+}
+
+/// Histogram handle for hot loops; nullptr when no session is installed.
+inline Histogram* HistogramFor(const char* name) {
+  Session* s = Session::Current();
+  return s != nullptr ? &s->metrics().histogram(name) : nullptr;
+}
+
+}  // namespace obs
+}  // namespace sparkopt

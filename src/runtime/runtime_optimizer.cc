@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/rng.h"
+#include "obs/trace.h"
 #include "params/sampler.h"
 
 namespace sparkopt {
@@ -96,10 +97,14 @@ void RuntimeOptimizer::OnPlanCollapsed(const LogicalPlan& plan,
   }
   if (opts_.enable_pruning && actionable.empty()) {
     ++stats_.lqp_pruned;
+    obs::Count("runtime.lqp_pruned");
     return;
   }
   ++stats_.lqp_sent;
   overhead_s_ += opts_.request_overhead_s;
+  obs::Count("runtime.lqp_sent");
+  obs::Span span("runtime.lqp_resolve");
+  span.Arg("actionable_subqs", static_cast<double>(actionable.size()));
 
   // Fine-grained from here on: expand a single shared theta_p.
   const int m = static_cast<int>(subqs.size());
@@ -160,10 +165,14 @@ void RuntimeOptimizer::OnStagesReady(const PhysicalPlan& plan,
     if (opts_.enable_pruning &&
         (st.is_scan_stage || st.input_bytes < 64.0 * 1024 * 1024)) {
       ++stats_.qs_pruned;
+      obs::Count("runtime.qs_pruned");
       continue;
     }
     ++stats_.qs_sent;
     overhead_s_ += opts_.request_overhead_s;
+    obs::Count("runtime.qs_sent");
+    obs::Span span("runtime.qs_resolve");
+    span.Arg("stage", sid);
 
     const int sq_id = std::min(st.subq_id, m - 1);
     // Evaluate theta_s candidates under the theta_p actually in force for

@@ -6,6 +6,7 @@
 #include "analysis/invariants.h"
 #include "common/rng.h"
 #include "moo/baselines.h"
+#include "obs/trace.h"
 
 namespace sparkopt {
 
@@ -25,8 +26,10 @@ const char* TuningMethodName(TuningMethod m) {
 Result<TuningOutcome> Tuner::RunWithConfig(const Query& query,
                                            const std::vector<double>& conf,
                                            bool runtime_opt) const {
+  obs::Span span("tuner.run_with_config");
   TuningOutcome out;
   out.method = TuningMethod::kDefault;
+  out.query_name = query.name;
   out.chosen.conf = conf;
 
   Simulator sim(opts_.cluster, opts_.cost_params, opts_.prices);
@@ -57,6 +60,8 @@ Result<TuningOutcome> Tuner::RunWithConfig(const Query& query,
 
 Result<TuningOutcome> Tuner::Run(const Query& query,
                                  TuningMethod method) const {
+  obs::Span span("tuner.run");
+  obs::Count("tuner.queries");
 #ifdef SPARKOPT_VERIFY
   {
     // The tuner is the system boundary: reject malformed query plans and
@@ -86,7 +91,9 @@ Result<TuningOutcome> Tuner::Run(const Query& query,
 
   TuningOutcome out;
   out.method = method;
+  out.query_name = query.name;
 
+  obs::Span solve_span("tuner.compile_solve");
   switch (method) {
     case TuningMethod::kHmooc3:
     case TuningMethod::kHmooc3Plus: {
@@ -127,6 +134,11 @@ Result<TuningOutcome> Tuner::Run(const Query& query,
     default:
       return Status::InvalidArgument("unsupported tuning method");
   }
+  solve_span.Arg("evaluations", static_cast<double>(out.moo.evaluations));
+  solve_span.Arg("pareto_size", static_cast<double>(out.moo.pareto.size()));
+  solve_span.End();
+  obs::GaugeSet("tuner.pareto_size",
+                static_cast<double>(out.moo.pareto.size()));
   out.solve_seconds = out.moo.solve_seconds;
   if (out.moo.pareto.empty()) {
     return Status::Internal("solver returned an empty Pareto set");
@@ -158,6 +170,7 @@ Result<TuningOutcome> Tuner::Run(const Query& query,
 
   Simulator sim(opts_.cluster, opts_.cost_params, opts_.prices);
   AqeDriver driver(&query.plan, &sim);
+  obs::Span exec_span("tuner.execute");
   if (method == TuningMethod::kHmooc3Plus) {
     RuntimeOptimizerOptions ro = opts_.runtime;
     ro.preference = opts_.preference;
@@ -185,6 +198,63 @@ Result<TuningOutcome> Tuner::Run(const Query& query,
     out.execution = std::move(*exec);
   }
   return out;
+}
+
+obs::TuningReport BuildTuningReport(const TuningOutcome& outcome,
+                                    const obs::Session& session) {
+  obs::TuningReport r;
+  r.query = outcome.query_name;
+  r.method = TuningMethodName(outcome.method);
+
+  r.compile_solve_seconds = outcome.solve_seconds;
+  r.compile_evaluations = outcome.moo.evaluations;
+
+  // Runtime re-solves come from the spans the RuntimeOptimizer recorded.
+  for (const auto& ev : session.trace().Events()) {
+    obs::ResolveRecord rec;
+    if (ev.name == "runtime.lqp_resolve") {
+      rec.kind = "lqp";
+    } else if (ev.name == "runtime.qs_resolve") {
+      rec.kind = "qs";
+    } else {
+      continue;
+    }
+    rec.seconds = ev.dur_us / 1e6;
+    rec.at_seconds = ev.ts_us / 1e6;
+    r.runtime_resolves.push_back(std::move(rec));
+  }
+  r.runtime_overhead_seconds = outcome.runtime_overhead_seconds;
+  r.lqp_sent = outcome.runtime_stats.lqp_sent;
+  r.lqp_pruned = outcome.runtime_stats.lqp_pruned;
+  r.qs_sent = outcome.runtime_stats.qs_sent;
+  r.qs_pruned = outcome.runtime_stats.qs_pruned;
+
+  const auto& metrics = session.metrics();
+  r.inference_us = metrics.StatsOf("model.inference_us");
+  r.model_inferences = r.inference_us.count;
+
+  r.sim_stages = static_cast<int64_t>(metrics.CounterValue("sim.stages"));
+  r.sim_tasks = static_cast<int64_t>(metrics.CounterValue("sim.tasks"));
+  r.sim_spilled_tasks =
+      static_cast<int64_t>(metrics.CounterValue("sim.spilled_tasks"));
+  r.sim_shuffle_read_bytes = metrics.GaugeValue("sim.shuffle_read_bytes");
+  r.sim_io_bytes = metrics.GaugeValue("sim.io_bytes");
+  r.aqe_waves = outcome.execution.waves;
+  r.aqe_replans = outcome.execution.replans;
+
+  r.pareto_size = outcome.moo.pareto.size();
+  r.pareto.reserve(outcome.moo.pareto.size());
+  for (const auto& sol : outcome.moo.pareto) {
+    if (sol.objectives.size() >= 2) {
+      r.pareto.push_back({sol.objectives[0], sol.objectives[1]});
+    }
+  }
+  if (outcome.chosen.objectives.size() >= 2) {
+    r.chosen = {outcome.chosen.objectives[0], outcome.chosen.objectives[1]};
+  }
+  r.exec_latency_seconds = outcome.execution.exec.latency;
+  r.exec_cost_dollars = outcome.execution.exec.cost;
+  return r;
 }
 
 }  // namespace sparkopt

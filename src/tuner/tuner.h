@@ -7,6 +7,7 @@
 #include "moo/baselines.h"
 #include "moo/hmooc.h"
 #include "moo/objective_models.h"
+#include "obs/report.h"
 #include "runtime/runtime_optimizer.h"
 
 /// \file tuner.h
@@ -54,6 +55,8 @@ struct TunerOptions {
 /// Outcome of tuning + executing one query.
 struct TuningOutcome {
   TuningMethod method = TuningMethod::kDefault;
+  /// Query name (for reports).
+  std::string query_name;
   /// Compile-time MOO result (empty Pareto set for kDefault).
   MooRunResult moo;
   /// The WUN-chosen solution (defaults for kDefault).
@@ -66,6 +69,15 @@ struct TuningOutcome {
   RequestStats runtime_stats;
   double runtime_overhead_seconds = 0.0;
 };
+
+/// \brief Assembles the observability record of one tuning session from
+/// the outcome plus the metrics and spans the instrumented pipeline
+/// recorded into `session` (see src/obs/report.h).
+///
+/// The session should cover exactly one `Tuner::Run` call; counters are
+/// cumulative, so reuse a session across queries only for aggregates.
+obs::TuningReport BuildTuningReport(const TuningOutcome& outcome,
+                                    const obs::Session& session);
 
 /// \brief Facade running one tuning method end to end on one query.
 class Tuner {

@@ -1,0 +1,113 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace sparkopt {
+namespace obs {
+namespace {
+
+TEST(JsonTest, ScalarDump) {
+  EXPECT_EQ(Json().Dump(), "null");
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(3).Dump(), "3");
+  EXPECT_EQ(Json(-7).Dump(), "-7");
+  EXPECT_EQ(Json(2.5).Dump(), "2.5");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, IntegersPrintWithoutFraction) {
+  EXPECT_EQ(Json(uint64_t{1000000}).Dump(), "1000000");
+  EXPECT_EQ(Json(int64_t{-42}).Dump(), "-42");
+  EXPECT_EQ(Json(0).Dump(), "0");
+}
+
+TEST(JsonTest, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).Dump(), "null");
+  EXPECT_EQ(Json(std::nan("")).Dump(), "null");
+}
+
+TEST(JsonTest, StringEscaping) {
+  EXPECT_EQ(Json("a\"b\\c").Dump(), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(Json("line\nbreak\ttab").Dump(), "\"line\\nbreak\\ttab\"");
+  auto back = Json::Parse(Json(std::string("ctrl\x01мир")).Dump());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->as_string(), "ctrl\x01мир");
+}
+
+TEST(JsonTest, ObjectKeepsInsertionOrder) {
+  Json obj{JsonObject{}};
+  obj.Set("zebra", 1);
+  obj.Set("alpha", 2);
+  obj.Set("mid", Json(JsonArray{Json(1), Json(2)}));
+  EXPECT_EQ(obj.Dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":[1,2]}");
+}
+
+TEST(JsonTest, FindAndGetters) {
+  Json obj{JsonObject{}};
+  obj.Set("n", 4.5);
+  obj.Set("s", "text");
+  EXPECT_EQ(obj.GetNumber("n"), 4.5);
+  EXPECT_EQ(obj.GetNumber("absent", -1.0), -1.0);
+  EXPECT_EQ(obj.GetString("s"), "text");
+  EXPECT_EQ(obj.GetString("absent", "dflt"), "dflt");
+  EXPECT_EQ(obj.Find("absent"), nullptr);
+  EXPECT_EQ(Json(3.0).Find("n"), nullptr);  // non-object lookup
+}
+
+TEST(JsonTest, ParseRoundTrip) {
+  const std::string doc =
+      "{\"a\":[1,2.5,-300,true,false,null],\"b\":{\"c\":\"x\"},\"d\":[]}";
+  auto parsed = Json::Parse(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Dump(), doc);
+  // Exponent notation parses to the same value.
+  auto exp = Json::Parse("-3e2");
+  ASSERT_TRUE(exp.ok());
+  EXPECT_DOUBLE_EQ(exp->as_double(), -300.0);
+}
+
+TEST(JsonTest, PrettyPrintReparses) {
+  Json obj{JsonObject{}};
+  obj.Set("list", Json(JsonArray{Json(1), Json("two")}));
+  obj.Set("nested", [] {
+    Json n{JsonObject{}};
+    n.Set("k", 9);
+    return n;
+  }());
+  const std::string pretty = obj.Dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto back = Json::Parse(pretty);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->Dump(), obj.Dump());
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());  // trailing garbage
+}
+
+TEST(JsonTest, ParseWhitespaceTolerant) {
+  auto parsed = Json::Parse("  {\n \"a\" :\t[ 1 , 2 ]\n}  ");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Dump(), "{\"a\":[1,2]}");
+}
+
+TEST(JsonTest, SetOnNonObjectConverts) {
+  Json v(7);
+  v.Set("k", 1);
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.GetNumber("k"), 1.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sparkopt

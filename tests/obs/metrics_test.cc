@@ -1,0 +1,185 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace sparkopt {
+namespace obs {
+namespace {
+
+TEST(CounterTest, AddAndValue) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(2.5);
+  EXPECT_EQ(g.value(), 2.5);
+  g.Add(1.5);
+  EXPECT_EQ(g.value(), 4.0);
+  g.Set(-1.0);
+  EXPECT_EQ(g.value(), -1.0);
+}
+
+TEST(HistogramTest, CountSumMean) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  h.Observe(1.0);
+  h.Observe(3.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.sum(), 4.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 2.0);
+}
+
+TEST(HistogramTest, BucketBoundsMonotone) {
+  double prev = 0.0;
+  for (int i = 0; i < Histogram::kNumBuckets - 1; ++i) {
+    const double b = Histogram::BucketUpperBound(i);
+    EXPECT_GT(b, prev) << "bucket " << i;
+    prev = b;
+  }
+  EXPECT_TRUE(std::isinf(
+      Histogram::BucketUpperBound(Histogram::kNumBuckets - 1)));
+}
+
+// Log-scale buckets bound the relative error of any percentile by the
+// bucket width: 2^(1/(2*kSubBuckets)) - 1 (< 4.5% for 8 sub-buckets).
+TEST(HistogramTest, PercentileRelativeErrorBounded) {
+  const double bound =
+      std::pow(2.0, 1.0 / (2.0 * Histogram::kSubBuckets)) - 1.0;
+  ASSERT_LT(bound, 0.045);
+  Histogram h;
+  // Exact values spanning several octaves.
+  const std::vector<double> vals = {0.5,  1.0,  2.0,   7.0,  13.0,
+                                    40.0, 90.0, 250.0, 1e3,  5e3,
+                                    2e4,  1e5,  3.3e5, 1e6,  4e6};
+  for (double v : vals) h.Observe(v);
+  std::vector<double> sorted = vals;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.95, 1.0}) {
+    const double exact =
+        sorted[std::min(sorted.size() - 1,
+                        static_cast<size_t>(q * sorted.size()))];
+    const double est = h.Percentile(q);
+    EXPECT_NEAR(est, exact, exact * 0.05)
+        << "quantile " << q << ": estimate " << est << " vs exact " << exact;
+  }
+}
+
+TEST(HistogramTest, PercentileOnKnownDistribution) {
+  // 1..1000 uniformly: p50 ~ 500, p95 ~ 950, p99 ~ 990 (within the 4.5%
+  // log-bucket bound, asserted at 10% for slack on bucket-edge effects).
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Observe(static_cast<double>(i));
+  EXPECT_NEAR(h.Percentile(0.50), 500.0, 50.0);
+  EXPECT_NEAR(h.Percentile(0.95), 950.0, 95.0);
+  EXPECT_NEAR(h.Percentile(0.99), 990.0, 99.0);
+  EXPECT_EQ(h.count(), 1000u);
+}
+
+TEST(HistogramTest, TinyAndHugeValuesLandInEdgeBuckets) {
+  Histogram h;
+  h.Observe(0.0);    // <= kFirstBound -> bucket 0
+  h.Observe(1e-12);  // also bucket 0
+  h.Observe(1e30);   // beyond the covered range -> overflow bucket
+  const auto counts = h.BucketCounts();
+  EXPECT_EQ(counts.front(), 2u);
+  EXPECT_EQ(counts.back(), 1u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(HistogramTest, BucketCountsSumToCount) {
+  Histogram h;
+  for (int i = 0; i < 257; ++i) h.Observe(0.001 * (i + 1));
+  const auto counts = h.BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStableHandles) {
+  MetricsRegistry reg;
+  Counter& c1 = reg.counter("a");
+  Counter& c2 = reg.counter("a");
+  EXPECT_EQ(&c1, &c2);
+  c1.Add(3);
+  EXPECT_EQ(reg.CounterValue("a"), 3u);
+  EXPECT_EQ(reg.CounterValue("missing"), 0u);
+
+  reg.gauge("g").Set(1.25);
+  EXPECT_EQ(reg.GaugeValue("g"), 1.25);
+  EXPECT_EQ(reg.FindCounter("missing"), nullptr);
+  EXPECT_EQ(reg.FindGauge("missing"), nullptr);
+  EXPECT_EQ(reg.FindHistogram("missing"), nullptr);
+  EXPECT_NE(reg.FindCounter("a"), nullptr);
+}
+
+TEST(MetricsRegistryTest, StatsOf) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.StatsOf("missing").count, 0u);
+  Histogram& h = reg.histogram("lat");
+  for (int i = 1; i <= 100; ++i) h.Observe(static_cast<double>(i));
+  const HistogramStats st = reg.StatsOf("lat");
+  EXPECT_EQ(st.count, 100u);
+  EXPECT_DOUBLE_EQ(st.sum, 5050.0);
+  EXPECT_NEAR(st.mean, 50.5, 1e-9);
+  EXPECT_NEAR(st.p50, 50.0, 5.0);
+  EXPECT_NEAR(st.p95, 95.0, 9.5);
+}
+
+TEST(MetricsRegistryTest, ConcurrentUpdates) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg] {
+      for (int i = 0; i < kIters; ++i) {
+        reg.counter("shared").Add();
+        reg.gauge("sum").Add(1.0);
+        reg.histogram("h").Observe(1.0);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(reg.CounterValue("shared"), uint64_t{kThreads} * kIters);
+  EXPECT_DOUBLE_EQ(reg.GaugeValue("sum"), double{kThreads} * kIters);
+  EXPECT_EQ(reg.StatsOf("h").count, uint64_t{kThreads} * kIters);
+}
+
+TEST(MetricsRegistryTest, ToJsonParses) {
+  MetricsRegistry reg;
+  reg.counter("b.count").Add(2);
+  reg.counter("a.count").Add(1);
+  reg.gauge("g").Set(0.5);
+  reg.histogram("h").Observe(10.0);
+  auto parsed = Json::Parse(reg.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->GetNumber("a.count"), 1.0);
+  EXPECT_EQ(counters->GetNumber("b.count"), 2.0);
+  // Map iteration gives sorted, deterministic key order.
+  EXPECT_EQ(counters->as_object()[0].first, "a.count");
+  const Json* hist = parsed->Find("histograms");
+  ASSERT_NE(hist, nullptr);
+  const Json* h = hist->Find("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->GetNumber("count"), 1.0);
+  EXPECT_EQ(h->GetNumber("sum"), 10.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sparkopt

@@ -1,0 +1,211 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace sparkopt {
+namespace obs {
+namespace {
+
+TEST(SpanTest, InertWithoutSession) {
+  ASSERT_EQ(Session::Current(), nullptr);
+  Span span("orphan");
+  EXPECT_FALSE(span.active());
+  span.Arg("k", 1.0);
+  EXPECT_EQ(span.Seconds(), 0.0);
+}
+
+TEST(SpanTest, RecordsCompleteEvent) {
+  Session session;
+  {
+    Span span("work");
+    span.Arg("items", 7.0);
+    EXPECT_TRUE(span.active());
+    EXPECT_GE(span.Seconds(), 0.0);
+  }
+  const auto events = session.trace().Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_GE(events[0].ts_us, 0.0);
+  EXPECT_GE(events[0].dur_us, 0.0);
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].first, "items");
+  EXPECT_EQ(events[0].args[0].second, 7.0);
+}
+
+TEST(SpanTest, ExplicitEndIsIdempotent) {
+  Session session;
+  Span span("phase");
+  span.End();
+  EXPECT_FALSE(span.active());
+  span.End();  // destruction after End() must not double-record either
+  EXPECT_EQ(session.trace().size(), 1u);
+}
+
+TEST(SpanTest, NestingDepthAndOrdering) {
+  Session session;
+  {
+    Span outer("outer");
+    {
+      Span inner("inner");
+    }
+    {
+      Span sibling("sibling");
+    }
+  }
+  const auto events = session.trace().Events();
+  ASSERT_EQ(events.size(), 3u);
+  // Spans record on close: children precede their parent.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "sibling");
+  EXPECT_EQ(events[2].name, "outer");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].depth, 0);
+  // The parent started no later and ended no earlier than its children.
+  EXPECT_LE(events[2].ts_us, events[0].ts_us);
+  EXPECT_GE(events[2].ts_us + events[2].dur_us,
+            events[1].ts_us + events[1].dur_us);
+}
+
+TEST(SessionTest, NestedSessionsRestorePrevious) {
+  Session outer;
+  EXPECT_EQ(Session::Current(), &outer);
+  {
+    Session inner;
+    EXPECT_EQ(Session::Current(), &inner);
+    Span span("in-inner");
+  }
+  EXPECT_EQ(Session::Current(), &outer);
+  EXPECT_EQ(outer.trace().size(), 0u);
+}
+
+TEST(SessionTest, MetricHelpers) {
+  {
+    Session session;
+    Count("c", 2);
+    GaugeSet("g", 1.5);
+    GaugeAdd("g", 0.5);
+    Observe("h", 10.0);
+    ASSERT_NE(HistogramFor("h"), nullptr);
+    EXPECT_EQ(session.metrics().CounterValue("c"), 2u);
+    EXPECT_EQ(session.metrics().GaugeValue("g"), 2.0);
+    EXPECT_EQ(session.metrics().StatsOf("h").count, 1u);
+  }
+  // All helpers are no-ops with no session installed.
+  Count("c");
+  GaugeSet("g", 9.0);
+  Observe("h", 1.0);
+  EXPECT_EQ(HistogramFor("h"), nullptr);
+}
+
+TEST(TraceTest, ChromeJsonIsValidAndComplete) {
+  Session session;
+  {
+    Span a("solve");
+    a.Arg("evals", 128.0);
+    Span b("cluster");
+  }
+  const std::string json = session.trace().ToChromeJson();
+  auto parsed = Json::Parse(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->GetString("displayTimeUnit"), "ms");
+  const Json* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->as_array().size(), session.trace().size());
+  for (const Json& e : events->as_array()) {
+    EXPECT_EQ(e.GetString("ph"), "X");
+    EXPECT_EQ(e.GetString("cat"), "sparkopt");
+    EXPECT_FALSE(e.GetString("name").empty());
+    EXPECT_GE(e.GetNumber("ts", -1.0), 0.0);
+    EXPECT_GE(e.GetNumber("dur", -1.0), 0.0);
+    EXPECT_EQ(e.GetNumber("pid"), 1.0);
+    ASSERT_NE(e.Find("args"), nullptr);
+  }
+  // The span argument survives serialization.
+  bool found_evals = false;
+  for (const Json& e : events->as_array()) {
+    if (e.GetString("name") == "solve" &&
+        e.Find("args")->GetNumber("evals") == 128.0) {
+      found_evals = true;
+    }
+  }
+  EXPECT_TRUE(found_evals);
+}
+
+TEST(TraceTest, GoldenEventShape) {
+  // Pin the serialized shape of one event (field names and order matter
+  // for external trace viewers).
+  Trace trace;
+  TraceEvent ev;
+  ev.name = "step";
+  ev.ts_us = 10.0;
+  ev.dur_us = 4.5;
+  ev.tid = 3;
+  ev.depth = 1;
+  ev.args = {{"n", 2.0}};
+  trace.Add(ev);
+  auto parsed = Json::Parse(trace.ToChromeJson());
+  ASSERT_TRUE(parsed.ok());
+  const Json& e = parsed->Find("traceEvents")->as_array()[0];
+  const JsonObject& fields = e.as_object();
+  ASSERT_EQ(fields.size(), 8u);
+  EXPECT_EQ(fields[0].first, "name");
+  EXPECT_EQ(fields[1].first, "cat");
+  EXPECT_EQ(fields[2].first, "ph");
+  EXPECT_EQ(fields[3].first, "ts");
+  EXPECT_EQ(fields[4].first, "dur");
+  EXPECT_EQ(fields[5].first, "pid");
+  EXPECT_EQ(fields[6].first, "tid");
+  EXPECT_EQ(fields[7].first, "args");
+  EXPECT_EQ(e.Find("args")->GetNumber("depth"), 1.0);
+  EXPECT_EQ(e.Find("args")->GetNumber("n"), 2.0);
+  EXPECT_EQ(e.GetNumber("ts"), 10.0);
+  EXPECT_EQ(e.GetNumber("dur"), 4.5);
+  EXPECT_EQ(e.GetNumber("tid"), 3.0);
+}
+
+TEST(TraceTest, WriteChromeJsonRoundTripsThroughDisk) {
+  Session session;
+  {
+    Span span("persisted");
+  }
+  const std::string path = ::testing::TempDir() + "/sparkopt_trace.json";
+  ASSERT_TRUE(session.trace().WriteChromeJson(path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto parsed = Json::Parse(buf.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("traceEvents")->as_array().size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, WriteChromeJsonFailsOnBadPath) {
+  Trace trace;
+  EXPECT_FALSE(trace.WriteChromeJson("/nonexistent-dir/x/y/trace.json"));
+}
+
+TEST(ScopedHistogramTimerTest, RecordsIntoHistogram) {
+  Histogram h;
+  {
+    ScopedHistogramTimer t(&h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  {
+    ScopedHistogramTimer inert(nullptr);  // no session installed
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sparkopt
