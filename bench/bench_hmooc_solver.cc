@@ -6,6 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
 #include "moo/hmooc.h"
 #include "moo/objective_models.h"
 #include "workload/tpcds.h"
@@ -68,6 +72,43 @@ void BM_HmoocSolveWideTpcds(benchmark::State& state) {
 }
 BENCHMARK(BM_HmoocSolveWideTpcds)->Unit(benchmark::kMillisecond);
 
+void BM_HmoocSolveTpchQ9Threads(benchmark::State& state) {
+  static auto catalog = TpchCatalog(100);
+  static auto q = *MakeTpchQuery(9, &catalog);
+  ClusterSpec cluster;
+  CostModelParams cost;
+  AnalyticSubQModel model(&q, cluster, cost);
+  HmoocOptions ho;
+  ho.seed = 3;
+  ho.num_threads = static_cast<int>(state.range(0));
+  HmoocSolver solver(&model, ho);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve());
+  }
+}
+BENCHMARK(BM_HmoocSolveTpchQ9Threads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HmoocSolveTpchQ9NoCache(benchmark::State& state) {
+  static auto catalog = TpchCatalog(100);
+  static auto q = *MakeTpchQuery(9, &catalog);
+  ClusterSpec cluster;
+  CostModelParams cost;
+  AnalyticSubQModel model(&q, cluster, cost);
+  model.evaluator().set_eval_cache_enabled(false);
+  HmoocOptions ho;
+  ho.seed = 3;
+  ho.num_threads = 1;
+  HmoocSolver solver(&model, ho);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve());
+  }
+}
+BENCHMARK(BM_HmoocSolveTpchQ9NoCache)->Unit(benchmark::kMillisecond);
+
 void BM_HmoocBudgetSweep(benchmark::State& state) {
   static auto catalog = TpchCatalog(100);
   static auto q = *MakeTpchQuery(9, &catalog);
@@ -91,7 +132,56 @@ BENCHMARK(BM_HmoocBudgetSweep)
     ->Args({128, 192})
     ->Unit(benchmark::kMillisecond);
 
+// Directly measured solve times emitted as RESULT-line JSON for the
+// driver's before/after comparisons (best of `reps` wall-clock runs).
+void EmitSolveResults() {
+  auto catalog = TpchCatalog(100);
+  auto q = *MakeTpchQuery(9, &catalog);
+  ClusterSpec cluster;
+  CostModelParams cost;
+  const int reps = benchutil::FastMode() ? 1 : 3;
+  struct Config {
+    int threads;
+    bool cache;
+  };
+  const int hw = ThreadPool(0).parallelism();
+  for (const Config& cfg : {Config{1, false}, Config{1, true},
+                            Config{hw, true}}) {
+    AnalyticSubQModel model(&q, cluster, cost);
+    model.evaluator().set_eval_cache_enabled(cfg.cache);
+    HmoocOptions ho;
+    ho.seed = 3;
+    ho.num_threads = cfg.threads;
+    HmoocSolver solver(&model, ho);
+    double best_s = 1e300;
+    size_t evals = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      benchutil::Timer timer;
+      const auto r = solver.Solve();
+      best_s = std::min(best_s, timer.Seconds());
+      evals = r.evaluations;
+    }
+    obs::JsonObject o;
+    o.emplace_back("query", obs::Json("tpch_q9"));
+    o.emplace_back("threads", obs::Json(cfg.threads));
+    o.emplace_back("eval_cache", obs::Json(cfg.cache));
+    o.emplace_back("solve_ms", obs::Json(best_s * 1e3));
+    o.emplace_back("evaluations", obs::Json(static_cast<uint64_t>(evals)));
+    o.emplace_back(
+        "cache_hits",
+        obs::Json(model.evaluator().eval_cache_hits()));
+    benchutil::EmitJson("hmooc_solve", obs::Json(std::move(o)));
+  }
+}
+
 }  // namespace
 }  // namespace sparkopt
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  sparkopt::EmitSolveResults();
+  return 0;
+}

@@ -7,6 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
+#include "bench_util.h"
 #include "model/features.h"
 #include "model/mlp.h"
 #include "model/subq_evaluator.h"
@@ -67,6 +70,36 @@ void BM_MlpInference(benchmark::State& state) {
 }
 BENCHMARK(BM_MlpInference);
 
+void BM_MlpBatchInference(benchmark::State& state) {
+  const int dim = FeatureLayout::Total();
+  const size_t rows = static_cast<size_t>(state.range(0));
+  Mlp net({dim, 64, 64, 2}, 3);
+  std::vector<double> x(rows * dim);
+  for (size_t i = 0; i < x.size(); ++i) x[i] = 0.01 * (i % 97);
+  std::vector<double> out(rows * 2);
+  Mlp::BatchScratch scratch;
+  for (auto _ : state) {
+    net.PredictBatchInto(x.data(), rows, out.data(), &scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_MlpBatchInference)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_AnalyticSubQEvaluateUncached(benchmark::State& state) {
+  // Fresh evaluator with the memo cache off: the pre-cache baseline.
+  auto& fx = Fx();
+  AnalyticSubQModel model(&fx.q9, fx.cluster, fx.cost);
+  model.evaluator().set_eval_cache_enabled(false);
+  int subq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Evaluate(subq, fx.conf));
+    subq = (subq + 1) % model.num_subqs();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnalyticSubQEvaluateUncached);
+
 void BM_PhysicalPlanning(benchmark::State& state) {
   auto& fx = Fx();
   PhysicalPlanner planner(&fx.q9.plan, fx.q9.plan.DecomposeSubQueries());
@@ -95,7 +128,57 @@ void BM_SimulateQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateQuery);
 
+// Directly measured per-row vs batched MLP throughput, emitted as
+// RESULT-line JSON for the driver's before/after comparisons.
+void EmitInferenceResults() {
+  const int dim = FeatureLayout::Total();
+  Mlp net({dim, 64, 64, 2}, 3);
+  const size_t total = benchutil::FastMode() ? 20000 : 200000;
+
+  std::vector<double> x(256 * dim);
+  for (size_t i = 0; i < x.size(); ++i) x[i] = 0.01 * (i % 97);
+  std::vector<double> out(256 * 2);
+
+  // Per-row baseline.
+  {
+    const std::vector<double> row(x.begin(), x.begin() + dim);
+    benchutil::Timer timer;
+    for (size_t i = 0; i < total; ++i) {
+      benchmark::DoNotOptimize(net.Predict(row));
+    }
+    const double s = timer.Seconds();
+    obs::JsonObject o;
+    o.emplace_back("batch", obs::Json(1));
+    o.emplace_back("rows_per_sec", obs::Json(total / s));
+    o.emplace_back("ns_per_row", obs::Json(s / total * 1e9));
+    benchutil::EmitJson("mlp_inference", obs::Json(std::move(o)));
+  }
+  Mlp::BatchScratch scratch;
+  for (size_t batch : {size_t{64}, size_t{256}}) {
+    const size_t iters = total / batch;
+    benchutil::Timer timer;
+    for (size_t i = 0; i < iters; ++i) {
+      net.PredictBatchInto(x.data(), batch, out.data(), &scratch);
+      benchmark::DoNotOptimize(out.data());
+    }
+    const double s = timer.Seconds();
+    const double rows = static_cast<double>(iters * batch);
+    obs::JsonObject o;
+    o.emplace_back("batch", obs::Json(static_cast<uint64_t>(batch)));
+    o.emplace_back("rows_per_sec", obs::Json(rows / s));
+    o.emplace_back("ns_per_row", obs::Json(s / rows * 1e9));
+    benchutil::EmitJson("mlp_inference", obs::Json(std::move(o)));
+  }
+}
+
 }  // namespace
 }  // namespace sparkopt
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  sparkopt::EmitInferenceResults();
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace sparkopt {
+
+namespace {
+// Set while a pool worker runs tasks. A ParallelFor issued from inside a
+// worker runs inline: letting it queue-and-wait could deadlock once every
+// worker blocks on a nested wait with the queued bodies unserved.
+thread_local bool t_in_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 1;
+  }
+  if (num_threads <= 1) return;  // inline mode: no workers at all
+  workers_.reserve(num_threads);
+  for (int t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1 || t_in_worker) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared state for one ParallelFor invocation. Tasks claim indices
+  // from `next`; the last task to finish signals `done_cv`.
+  struct ForState {
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mu;
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    size_t pending_tasks;
+  };
+  auto state = std::make_shared<ForState>();
+
+  const size_t tasks = std::min(n, workers_.size() + 1);
+  state->pending_tasks = tasks;
+
+  // The caller waits until every task body has run to completion, so the
+  // by-reference capture of `fn` cannot dangle.
+  auto body = [state, n, &fn] {
+    size_t i;
+    while ((i = state->next.fetch_add(1, std::memory_order_relaxed)) < n) {
+      if (state->failed.load(std::memory_order_relaxed)) continue;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->error_mu);
+        if (!state->failed.exchange(true, std::memory_order_relaxed)) {
+          state->error = std::current_exception();
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lock(state->done_mu);
+    if (--state->pending_tasks == 0) state->done_cv.notify_all();
+  };
+
+  // One fewer queued task than workers when the caller participates:
+  // the calling thread runs the same claiming loop, so a fully busy pool
+  // cannot deadlock the caller and small n never waits on wake-ups.
+  for (size_t t = 1; t < tasks; ++t) Enqueue(body);
+  body();
+
+  {
+    std::unique_lock<std::mutex> lock(state->done_mu);
+    state->done_cv.wait(lock, [&] { return state->pending_tasks == 0; });
+  }
+  if (state->failed.load(std::memory_order_acquire)) {
+    std::rethrow_exception(state->error);
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+}  // namespace sparkopt

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+/// \file thread_pool.h
+/// \brief A small fixed-size worker pool for the solver hot paths.
+///
+/// Design constraints, in order:
+///  1. Determinism. Results of `ParallelFor` are collected by index, so
+///     callers that write `out[i]` from iteration i observe bitwise the
+///     same outputs at any thread count (including 0/1, which run inline
+///     on the calling thread — the sequential path is the degenerate
+///     case, not a separate code path).
+///  2. Exception safety. The first exception thrown by any iteration is
+///     captured and rethrown on the calling thread after all in-flight
+///     iterations have drained; remaining iterations are skipped.
+///  3. Simplicity. One mutex + condvar task queue is plenty: tasks here
+///     are coarse (hundreds of model evaluations each), so queue
+///     contention is noise compared to the work.
+///
+/// Worker threads must not record `obs::Span`s (see src/obs/trace.h:
+/// spans are main-thread-only); use the thread-safe
+/// `obs::ScopedHistogramTimer` / metric helpers instead.
+
+namespace sparkopt {
+
+/// \brief Fixed-size thread pool with inline fallback.
+class ThreadPool {
+ public:
+  /// `num_threads` <= -1 or 0 picks `hardware_concurrency`; 1 means no
+  /// worker threads at all (every call runs inline on the caller).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 when running inline).
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Effective parallelism: worker count, or 1 when inline.
+  int parallelism() const { return std::max(num_threads(), 1); }
+
+  /// \brief Runs `fn(i)` for every i in [0, n).
+  ///
+  /// Iterations are claimed dynamically (an atomic cursor), so the
+  /// assignment of iterations to threads is nondeterministic — callers
+  /// must make each iteration independent and index-addressed. Blocks
+  /// until all iterations finish; rethrows the first captured exception.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// \brief Submits one task; the future carries the result/exception.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    if (workers_.empty()) {
+      (*task)();
+      return result;
+    }
+    Enqueue([task] { (*task)(); });
+    return result;
+  }
+
+  /// The pool shared by solver entry points that are called too often to
+  /// pay thread start-up each time (runtime re-optimization). Sized at
+  /// hardware_concurrency on first use with threads > 1; callers cap
+  /// their fan-out themselves via their own options.
+  static ThreadPool& Shared();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace sparkopt

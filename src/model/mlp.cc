@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#endif
+
 #include "common/rng.h"
 
 namespace sparkopt {
@@ -60,21 +64,194 @@ Mlp::Mlp(std::vector<int> layers, uint64_t seed) : layers_(std::move(layers)) {
   }
 }
 
+namespace {
+
+/// Dense-layer kernel contract:
+///   out[r * n_out + o] = act(b[o] + sum_i w[o * n_in + i] * in[r * n_in + i])
+/// with the sum accumulated in ascending i. One kernel is selected at
+/// startup (AVX2+FMA when the CPU has it, the portable scalar kernel
+/// otherwise) and used by BOTH the single-row path (Mlp::Forward, and
+/// therefore Predict) and the batched path (PredictBatchInto). That
+/// shared selection is what makes batched results bitwise identical to
+/// per-row results: within one kernel every accumulator performs the
+/// exact same rounding sequence regardless of how many rows are in
+/// flight.
+using DenseKernel = void (*)(const double* in, size_t rows, const double* w,
+                             const double* b, int n_in, int n_out, bool relu,
+                             double* out);
+
+/// Portable kernel. Rows are tiled so the active weight row stays hot
+/// across the tile, and processed four at a time: four independent
+/// accumulator chains hide the FP-add latency that bounds a
+/// one-chain-per-dot-product GEMV. Each chain sums `s += w * x` in the
+/// same i order as the scalar remainder loop, so results are bitwise
+/// identical at any batch size.
+void DenseLayerGeneric(const double* in, size_t rows, const double* w,
+                       const double* b, int n_in, int n_out, bool relu,
+                       double* out) {
+  constexpr size_t kRowTile = 32;
+  for (size_t r0 = 0; r0 < rows; r0 += kRowTile) {
+    const size_t r1 = std::min(r0 + kRowTile, rows);
+    for (int o = 0; o < n_out; ++o) {
+      const double* wrow = w + static_cast<size_t>(o) * n_in;
+      const double bias = b[o];
+      size_t r = r0;
+      for (; r + 4 <= r1; r += 4) {
+        const double* x0 = in + r * n_in;
+        const double* x1 = x0 + n_in;
+        const double* x2 = x1 + n_in;
+        const double* x3 = x2 + n_in;
+        double s0 = bias, s1 = bias, s2 = bias, s3 = bias;
+        for (int i = 0; i < n_in; ++i) {
+          const double wi = wrow[i];
+          s0 += wi * x0[i];
+          s1 += wi * x1[i];
+          s2 += wi * x2[i];
+          s3 += wi * x3[i];
+        }
+        double* or_ = out + r * n_out + o;
+        or_[0] = relu ? std::max(s0, 0.0) : s0;
+        or_[n_out] = relu ? std::max(s1, 0.0) : s1;
+        or_[2 * static_cast<size_t>(n_out)] = relu ? std::max(s2, 0.0) : s2;
+        or_[3 * static_cast<size_t>(n_out)] = relu ? std::max(s3, 0.0) : s3;
+      }
+      for (; r < r1; ++r) {
+        const double* xr = in + r * n_in;
+        double s = bias;
+        for (int i = 0; i < n_in; ++i) s += wrow[i] * xr[i];
+        out[r * n_out + o] = relu ? std::max(s, 0.0) : s;
+      }
+    }
+  }
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+
+/// Widest layer the transposed-tile path handles on the stack
+/// (8 lanes * 512 doubles = 32 KiB); wider layers take the scalar-fma
+/// loop below, which uses the identical rounding sequence.
+constexpr int kMaxTransposeIn = 512;
+
+/// ReLU that mirrors `(s < 0.0) ? 0.0 : s` per lane (NaN passes through,
+/// exactly like the scalar remainder path's std::max(s, 0.0)).
+__attribute__((target("avx2,fma"))) inline __m256d ReluPd(__m256d s) {
+  const __m256d zero = _mm256_setzero_pd();
+  return _mm256_blendv_pd(s, zero, _mm256_cmp_pd(s, zero, _CMP_LT_OQ));
+}
+
+/// AVX2+FMA kernel, compiled for that target and only dispatched to when
+/// the CPU supports it. Eight rows are transposed into a column-major
+/// tile so each inner step is a broadcast of w[i] against contiguous
+/// loads of eight rows' x[i]; four outputs are computed per pass, giving
+/// 4 x 2 = 8 independent packed vfmadd chains — enough to hide the FMA
+/// latency that bounds a single dot-product chain. Every chain (vector
+/// lane or scalar remainder) computes fma(w[i], x[i], s) in ascending i
+/// with the same fused rounding, so rows==1 and rows==N agree bitwise.
+__attribute__((target("avx2,fma"))) void DenseLayerAvx2(
+    const double* in, size_t rows, const double* w, const double* b,
+    int n_in, int n_out, bool relu, double* out) {
+  constexpr size_t kLanes = 8;
+  size_t r = 0;
+  if (n_in <= kMaxTransposeIn) {
+    alignas(32) double xt[kLanes * kMaxTransposeIn];
+    alignas(32) double sv[kLanes];
+    for (; r + kLanes <= rows; r += kLanes) {
+      const double* base = in + r * n_in;
+      for (int i = 0; i < n_in; ++i) {
+        for (size_t k = 0; k < kLanes; ++k) {
+          xt[static_cast<size_t>(i) * kLanes + k] = base[k * n_in + i];
+        }
+      }
+      int o = 0;
+      for (; o + 4 <= n_out; o += 4) {
+        const double* w0 = w + static_cast<size_t>(o) * n_in;
+        const double* w1 = w0 + n_in;
+        const double* w2 = w1 + n_in;
+        const double* w3 = w2 + n_in;
+        __m256d a0 = _mm256_set1_pd(b[o]), b0 = a0;
+        __m256d a1 = _mm256_set1_pd(b[o + 1]), b1 = a1;
+        __m256d a2 = _mm256_set1_pd(b[o + 2]), b2 = a2;
+        __m256d a3 = _mm256_set1_pd(b[o + 3]), b3 = a3;
+        const double* col = xt;
+        for (int i = 0; i < n_in; ++i, col += kLanes) {
+          const __m256d xlo = _mm256_load_pd(col);
+          const __m256d xhi = _mm256_load_pd(col + 4);
+          const __m256d wi0 = _mm256_set1_pd(w0[i]);
+          a0 = _mm256_fmadd_pd(wi0, xlo, a0);
+          b0 = _mm256_fmadd_pd(wi0, xhi, b0);
+          const __m256d wi1 = _mm256_set1_pd(w1[i]);
+          a1 = _mm256_fmadd_pd(wi1, xlo, a1);
+          b1 = _mm256_fmadd_pd(wi1, xhi, b1);
+          const __m256d wi2 = _mm256_set1_pd(w2[i]);
+          a2 = _mm256_fmadd_pd(wi2, xlo, a2);
+          b2 = _mm256_fmadd_pd(wi2, xhi, b2);
+          const __m256d wi3 = _mm256_set1_pd(w3[i]);
+          a3 = _mm256_fmadd_pd(wi3, xlo, a3);
+          b3 = _mm256_fmadd_pd(wi3, xhi, b3);
+        }
+        const __m256d accs[4][2] = {{a0, b0}, {a1, b1}, {a2, b2}, {a3, b3}};
+        for (int j = 0; j < 4; ++j) {
+          _mm256_store_pd(sv, relu ? ReluPd(accs[j][0]) : accs[j][0]);
+          _mm256_store_pd(sv + 4, relu ? ReluPd(accs[j][1]) : accs[j][1]);
+          double* orow = out + r * n_out + o + j;
+          for (size_t k = 0; k < kLanes; ++k) orow[k * n_out] = sv[k];
+        }
+      }
+      for (; o < n_out; ++o) {
+        const double* wrow = w + static_cast<size_t>(o) * n_in;
+        __m256d alo = _mm256_set1_pd(b[o]), ahi = alo;
+        const double* col = xt;
+        for (int i = 0; i < n_in; ++i, col += kLanes) {
+          const __m256d wi = _mm256_set1_pd(wrow[i]);
+          alo = _mm256_fmadd_pd(wi, _mm256_load_pd(col), alo);
+          ahi = _mm256_fmadd_pd(wi, _mm256_load_pd(col + 4), ahi);
+        }
+        _mm256_store_pd(sv, relu ? ReluPd(alo) : alo);
+        _mm256_store_pd(sv + 4, relu ? ReluPd(ahi) : ahi);
+        double* orow = out + r * n_out + o;
+        for (size_t k = 0; k < kLanes; ++k) orow[k * n_out] = sv[k];
+      }
+    }
+  }
+  for (; r < rows; ++r) {
+    const double* xr = in + r * n_in;
+    for (int o = 0; o < n_out; ++o) {
+      const double* wrow = w + static_cast<size_t>(o) * n_in;
+      double s = b[o];
+      for (int i = 0; i < n_in; ++i) s = std::fma(wrow[i], xr[i], s);
+      out[r * n_out + o] = relu ? std::max(s, 0.0) : s;
+    }
+  }
+}
+
+#endif  // x86-64 && (GCC || Clang)
+
+DenseKernel ActiveDenseKernel() {
+  static const DenseKernel kernel = [] {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+      return &DenseLayerAvx2;
+    }
+#endif
+    return &DenseLayerGeneric;
+  }();
+  return kernel;
+}
+
+}  // namespace
+
 void Mlp::Forward(const std::vector<double>& x,
                   std::vector<std::vector<double>>* activations) const {
+  const DenseKernel kernel = ActiveDenseKernel();
   activations->clear();
   activations->push_back(x);
   for (size_t l = 0; l < net_.size(); ++l) {
     const auto& layer = net_[l];
     const auto& in = activations->back();
     std::vector<double> out(layer.out);
-    for (int o = 0; o < layer.out; ++o) {
-      double s = layer.b[o];
-      const double* wrow = &layer.w[static_cast<size_t>(o) * layer.in];
-      for (int i = 0; i < layer.in; ++i) s += wrow[i] * in[i];
-      // ReLU on hidden layers only.
-      out[o] = (l + 1 < net_.size()) ? std::max(s, 0.0) : s;
-    }
+    // ReLU on hidden layers only.
+    kernel(in.data(), 1, layer.w.data(), layer.b.data(), layer.in, layer.out,
+           /*relu=*/l + 1 < net_.size(), out.data());
     activations->push_back(std::move(out));
   }
 }
@@ -85,30 +262,75 @@ std::vector<double> Mlp::Predict(const std::vector<double>& x) const {
   return acts.back();
 }
 
+void Mlp::PredictBatchInto(const double* x, size_t rows, double* out,
+                           BatchScratch* scratch) const {
+  if (rows == 0) return;
+  size_t max_width = 0;
+  for (const auto& layer : net_) {
+    max_width = std::max(max_width, static_cast<size_t>(layer.out));
+  }
+  scratch->a.resize(rows * max_width);
+  scratch->b.resize(rows * max_width);
+
+  const DenseKernel kernel = ActiveDenseKernel();
+  const double* in = x;
+  double* ping = scratch->a.data();
+  double* pong = scratch->b.data();
+  for (size_t l = 0; l < net_.size(); ++l) {
+    const auto& layer = net_[l];
+    const bool last = l + 1 == net_.size();
+    double* dst = last ? out : ping;
+    kernel(in, rows, layer.w.data(), layer.b.data(), layer.in,
+           layer.out, /*relu=*/!last, dst);
+    in = dst;
+    std::swap(ping, pong);
+  }
+}
+
 Matrix Mlp::PredictBatch(const Matrix& x) const {
-  Matrix out;
-  out.reserve(x.size());
-  std::vector<std::vector<double>> acts;
-  for (const auto& row : x) {
-    Forward(row, &acts);
-    out.push_back(acts.back());
+  Matrix out(x.size(), std::vector<double>(layers_.back()));
+  if (x.empty()) return out;
+  BatchScratch scratch;
+  std::vector<double> flat(x.size() * layers_.front());
+  for (size_t r = 0; r < x.size(); ++r) {
+    std::copy(x[r].begin(), x[r].end(),
+              flat.begin() + r * layers_.front());
+  }
+  std::vector<double> pred(x.size() * layers_.back());
+  PredictBatchInto(flat.data(), x.size(), pred.data(), &scratch);
+  for (size_t r = 0; r < x.size(); ++r) {
+    std::copy(pred.begin() + r * layers_.back(),
+              pred.begin() + (r + 1) * layers_.back(), out[r].begin());
   }
   return out;
 }
 
+double Mlp::MseFlat(const double* x, const double* y, size_t rows,
+                    BatchScratch* scratch) const {
+  if (rows == 0) return 0.0;
+  const int k = layers_.back();
+  scratch->xs.resize(rows * k);
+  PredictBatchInto(x, rows, scratch->xs.data(), scratch);
+  double total = 0.0;
+  for (size_t i = 0; i < rows * static_cast<size_t>(k); ++i) {
+    const double d = scratch->xs[i] - y[i];
+    total += d * d;
+  }
+  return total / (static_cast<double>(rows) * k);
+}
+
 double Mlp::Mse(const Matrix& x, const Matrix& y) const {
   if (x.empty()) return 0.0;
-  double total = 0.0;
-  std::vector<std::vector<double>> acts;
+  const int d_in = layers_.front();
+  const int k = layers_.back();
+  std::vector<double> xf(x.size() * d_in);
+  std::vector<double> yf(x.size() * k);
   for (size_t i = 0; i < x.size(); ++i) {
-    Forward(x[i], &acts);
-    const auto& pred = acts.back();
-    for (size_t j = 0; j < pred.size(); ++j) {
-      const double d = pred[j] - y[i][j];
-      total += d * d;
-    }
+    std::copy(x[i].begin(), x[i].end(), xf.begin() + i * d_in);
+    std::copy(y[i].begin(), y[i].end(), yf.begin() + i * k);
   }
-  return total / (static_cast<double>(x.size()) * layers_.back());
+  BatchScratch scratch;
+  return MseFlat(xf.data(), yf.data(), x.size(), &scratch);
 }
 
 Status Mlp::Fit(const Matrix& x, const Matrix& y, const TrainOptions& opts) {
@@ -146,6 +368,20 @@ Status Mlp::Fit(const Matrix& x, const Matrix& y, const TrainOptions& opts) {
   std::vector<Layer> best = net_;
   double best_val = 1e300;
   int bad_epochs = 0;
+
+  // Validation split, flattened once up front; the epoch loop only runs
+  // the batched forward pass over it (previously the xv/yv matrices were
+  // rebuilt from scratch every epoch).
+  std::vector<double> xv_flat(n_val * layers_.front());
+  std::vector<double> yv_flat(n_val * layers_.back());
+  for (size_t v = 0; v < n_val; ++v) {
+    const int i = val_idx[v];
+    std::copy(x[i].begin(), x[i].end(),
+              xv_flat.begin() + v * layers_.front());
+    std::copy(y[i].begin(), y[i].end(),
+              yv_flat.begin() + v * layers_.back());
+  }
+  BatchScratch val_scratch;
 
   std::vector<std::vector<double>> acts;
   // Per-layer gradient buffers.
@@ -224,14 +460,8 @@ Status Mlp::Fit(const Matrix& x, const Matrix& y, const TrainOptions& opts) {
     }
     // Early stopping on the validation split.
     if (!val_idx.empty()) {
-      Matrix xv, yv;
-      xv.reserve(val_idx.size());
-      yv.reserve(val_idx.size());
-      for (int i : val_idx) {
-        xv.push_back(x[i]);
-        yv.push_back(y[i]);
-      }
-      const double val = Mse(xv, yv);
+      const double val =
+          MseFlat(xv_flat.data(), yv_flat.data(), n_val, &val_scratch);
       if (val < best_val - 1e-12) {
         best_val = val;
         best = net_;
@@ -280,8 +510,15 @@ Status Regressor::Fit(const Matrix& x, const Matrix& y_raw,
 }
 
 std::vector<double> Regressor::Predict(const std::vector<double>& x) const {
-  auto xs = stdizer_.Transform(x);
-  auto p = mlp_.Predict(xs);
+  // In-place path: one reusable standardized copy, batched forward with
+  // rows = 1. Thread-local scratch keeps concurrent solver threads from
+  // sharing activation buffers.
+  thread_local Mlp::BatchScratch scratch;
+  thread_local std::vector<double> xs;
+  xs.assign(x.begin(), x.end());
+  stdizer_.TransformInPlace(&xs);
+  std::vector<double> p(mlp_.output_dim());
+  mlp_.PredictBatchInto(xs.data(), 1, p.data(), &scratch);
   for (auto& v : p) {
     v = std::exp(std::min(v, kMaxLogPred)) - kTargetEps;
     v = std::max(v, 0.0);
@@ -289,10 +526,45 @@ std::vector<double> Regressor::Predict(const std::vector<double>& x) const {
   return p;
 }
 
+void Regressor::PredictBatchInto(const double* x, size_t rows, double* out,
+                                 Mlp::BatchScratch* scratch) const {
+  if (rows == 0) return;
+  const size_t d = mlp_.input_dim();
+  // One standardize pass over the whole batch, staged in scratch so the
+  // caller's inputs stay untouched.
+  scratch->xs.assign(x, x + rows * d);
+  const size_t dm = std::min(d, stdizer_.mean.size());
+  for (size_t r = 0; r < rows; ++r) {
+    double* xr = scratch->xs.data() + r * d;
+    for (size_t j = 0; j < dm; ++j) {
+      xr[j] = std::clamp((xr[j] - stdizer_.mean[j]) / stdizer_.stddev[j],
+                         -10.0, 10.0);
+    }
+  }
+  mlp_.PredictBatchInto(scratch->xs.data(), rows, out, scratch);
+  const size_t k = mlp_.output_dim();
+  for (size_t i = 0; i < rows * k; ++i) {
+    out[i] = std::max(std::exp(std::min(out[i], kMaxLogPred)) - kTargetEps,
+                      0.0);
+  }
+}
+
 Matrix Regressor::PredictBatch(const Matrix& x) const {
-  Matrix out;
-  out.reserve(x.size());
-  for (const auto& row : x) out.push_back(Predict(row));
+  Matrix out(x.size(), std::vector<double>(mlp_.output_dim()));
+  if (x.empty()) return out;
+  const size_t d = mlp_.input_dim();
+  const size_t k = mlp_.output_dim();
+  Mlp::BatchScratch scratch;
+  std::vector<double> flat(x.size() * d);
+  for (size_t r = 0; r < x.size(); ++r) {
+    std::copy(x[r].begin(), x[r].end(), flat.begin() + r * d);
+  }
+  std::vector<double> pred(x.size() * k);
+  PredictBatchInto(flat.data(), x.size(), pred.data(), &scratch);
+  for (size_t r = 0; r < x.size(); ++r) {
+    std::copy(pred.begin() + r * k, pred.begin() + (r + 1) * k,
+              out[r].begin());
+  }
   return out;
 }
 

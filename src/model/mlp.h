@@ -35,6 +35,15 @@ class Mlp {
   /// `layers` = {input_dim, hidden..., output_dim}.
   Mlp(std::vector<int> layers, uint64_t seed);
 
+  /// \brief Reusable scratch for the batched forward pass. One instance
+  /// per thread: the buffers are ping-ponged between layers, so sharing
+  /// one across concurrent calls would corrupt activations.
+  struct BatchScratch {
+    std::vector<double> a, b;
+    /// Standardized-input staging area (used by Regressor's batch path).
+    std::vector<double> xs;
+  };
+
   struct TrainOptions {
     int epochs = 80;
     int batch_size = 64;
@@ -55,8 +64,22 @@ class Mlp {
   /// Batched inference (hot path of the MOO solvers).
   Matrix PredictBatch(const Matrix& x) const;
 
+  /// \brief Batched inference over a flat row-major buffer
+  /// `x[rows * input_dim]`, writing `out[rows * output_dim]`.
+  ///
+  /// This is the GEMM-style hot path: one blocked matrix-matrix product
+  /// per layer over reused scratch, no per-row vector churn. Each
+  /// (row, output) dot product accumulates in the same index order as
+  /// `Predict`, so results are bitwise identical to the per-row path.
+  void PredictBatchInto(const double* x, size_t rows, double* out,
+                        BatchScratch* scratch) const;
+
   /// Mean squared error over a dataset.
   double Mse(const Matrix& x, const Matrix& y) const;
+
+  /// Mse over flat row-major buffers (batched; reuses `scratch`).
+  double MseFlat(const double* x, const double* y, size_t rows,
+                 BatchScratch* scratch) const;
 
   int input_dim() const { return layers_.front(); }
   int output_dim() const { return layers_.back(); }
@@ -92,6 +115,15 @@ class Regressor {
   std::vector<double> Predict(const std::vector<double>& x) const;
   Matrix PredictBatch(const Matrix& x) const;
 
+  /// \brief Batched raw-space prediction over a flat row-major buffer
+  /// `x[rows * input_dim]` into `out[rows * output_dim]`: one
+  /// standardize pass (in scratch, inputs untouched), one batched MLP
+  /// forward, one exp/clamp pass. Bitwise identical to per-row Predict.
+  void PredictBatchInto(const double* x, size_t rows, double* out,
+                        Mlp::BatchScratch* scratch) const;
+
+  int input_dim() const { return mlp_.input_dim(); }
+  int output_dim() const { return mlp_.output_dim(); }
   bool trained() const { return trained_; }
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/rng.h"
 #include "obs/trace.h"
 
 namespace sparkopt {
@@ -16,7 +17,104 @@ CostModelParams NoiseFree(CostModelParams p) {
 }
 
 double NLogN(double n) { return n * std::log2(std::max(n, 2.0)); }
+
+/// 64-bit key over the full Evaluate input. Doubles are hashed bitwise;
+/// the completed-subQ mask folds into one word per 64 subQs (a nullptr
+/// mask and an all-false mask key separately even though BuildStage
+/// treats them the same — a conservative split that only costs one
+/// duplicate entry). A 64-bit hash admits a ~n^2/2^64 collision chance
+/// per solve — negligible at the 10^4-10^5 evaluations a solve performs.
+uint64_t EvalKey(int subq_id, const ContextParams& c, const PlanParams& p,
+                 const StageParams& s, CardinalitySource source,
+                 const std::vector<bool>* completed) {
+  const double fields[] = {
+      static_cast<double>(c.executor_cores),
+      c.executor_memory_gb,
+      static_cast<double>(c.executor_instances),
+      static_cast<double>(c.default_parallelism),
+      c.reducer_max_size_in_flight_mb,
+      static_cast<double>(c.shuffle_bypass_merge_threshold),
+      c.shuffle_compress ? 1.0 : 0.0,
+      c.memory_fraction,
+      p.advisory_partition_size_mb,
+      p.non_empty_partition_ratio,
+      p.shuffled_hash_join_threshold_mb,
+      p.broadcast_join_threshold_mb,
+      static_cast<double>(p.shuffle_partitions),
+      p.skewed_partition_threshold_mb,
+      p.skewed_partition_factor,
+      p.max_partition_bytes_mb,
+      p.file_open_cost_mb,
+      s.rebalance_small_factor,
+      s.coalesce_min_partition_size_mb,
+  };
+  uint64_t h = Fnv1a(fields, sizeof(fields));
+  h = HashCombine(h, (static_cast<uint64_t>(subq_id) << 8) |
+                         static_cast<uint64_t>(source));
+  if (completed != nullptr) {
+    uint64_t word = 0;
+    for (size_t i = 0; i < completed->size(); ++i) {
+      if ((*completed)[i]) word |= uint64_t{1} << (i % 64);
+      if (i % 64 == 63) {
+        h = HashCombine(h, word);
+        word = 0;
+      }
+    }
+    h = HashCombine(h, word);
+  }
+  return h;
+}
 }  // namespace
+
+// ---- EvalCache ---------------------------------------------------------
+
+EvalCache::EvalCache(size_t capacity) {
+  size_t cap = 1024;
+  while (cap < capacity) cap <<= 1;
+  slots_ = std::make_unique<Slot[]>(cap);
+  mask_ = cap - 1;
+}
+
+bool EvalCache::Lookup(uint64_t key, SubQObjectives* out) const {
+  if (key <= kBusy) key ^= 0x9E3779B97F4A7C15ULL;
+  for (int d = 0; d < kMaxProbe; ++d) {
+    const Slot& slot = slots_[(key + d) & mask_];
+    const uint64_t tag = slot.tag.load(std::memory_order_acquire);
+    if (tag == key) {
+      *out = slot.value;
+      return true;
+    }
+    if (tag == kEmpty) return false;
+    // kBusy or a different key: keep probing.
+  }
+  return false;
+}
+
+void EvalCache::Insert(uint64_t key, const SubQObjectives& value) {
+  if (key <= kBusy) key ^= 0x9E3779B97F4A7C15ULL;
+  for (int d = 0; d < kMaxProbe; ++d) {
+    Slot& slot = slots_[(key + d) & mask_];
+    uint64_t tag = slot.tag.load(std::memory_order_acquire);
+    if (tag == key) return;  // already inserted by a concurrent thread
+    if (tag != kEmpty) continue;
+    uint64_t expected = kEmpty;
+    if (slot.tag.compare_exchange_strong(expected, kBusy,
+                                         std::memory_order_acq_rel)) {
+      slot.value = value;
+      slot.tag.store(key, std::memory_order_release);
+      return;
+    }
+    if (expected == key) return;
+    // Lost the race to someone inserting a different key; keep probing.
+  }
+  // Probe window full: drop the insert (the value is recomputable).
+}
+
+void EvalCache::Clear() {
+  for (size_t i = 0; i <= mask_; ++i) {
+    slots_[i].tag.store(kEmpty, std::memory_order_relaxed);
+  }
+}
 
 SubQEvaluator::SubQEvaluator(const Query* query, const ClusterSpec& cluster,
                              const CostModelParams& cost_params,
@@ -189,6 +287,19 @@ SubQObjectives SubQEvaluator::Evaluate(
     const std::vector<bool>* completed_subqs) const {
   obs::Count("model.inferences");
   obs::ScopedHistogramTimer timer(obs::HistogramFor("model.inference_us"));
+  uint64_t key = 0;
+  if (cache_enabled_) {
+    key = EvalKey(subq_id, theta_c, theta_p, theta_s, source,
+                  completed_subqs);
+    SubQObjectives cached;
+    if (cache_.Lookup(key, &cached)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      obs::Count("model.eval_cache_hits");
+      return cached;
+    }
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::Count("model.eval_cache_misses");
+  }
   const QueryStage st = BuildStage(subq_id, theta_c, theta_p, theta_s,
                                    source, completed_subqs);
   const int cores = std::min(theta_c.TotalCores(),
@@ -219,6 +330,7 @@ SubQObjectives SubQEvaluator::Evaluate(
       theta_c.executor_memory_gb * theta_c.executor_instances;
   obj.cost = CloudCost(prices_, cores, mem_gb, obj.analytical_latency,
                        obj.io_bytes / (1024.0 * kMb));
+  if (cache_enabled_) cache_.Insert(key, obj);
   return obj;
 }
 

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "exec/cost_model.h"
@@ -27,6 +30,45 @@ struct SubQObjectives {
   double analytical_latency = 0.0;  ///< seconds
   double io_bytes = 0.0;
   double cost = 0.0;                ///< dollars (decomposable share)
+};
+
+/// \brief Fixed-capacity, thread-safe open-addressing memo table for
+/// evaluation results.
+///
+/// Keys are 64-bit hashes of the full evaluation inputs; values are the
+/// three objective doubles. Lock-free: a writer claims an empty slot by
+/// CAS-ing the tag to a busy sentinel, writes the value, then publishes
+/// the key with a release store; readers only trust a slot after an
+/// acquire load of the matching key. Since evaluation is a pure function
+/// of the key's preimage, losing a race (or running out of probe budget)
+/// merely recomputes a deterministic value — correctness never depends
+/// on which thread inserted first. No resizing, no eviction: the table
+/// is sized for one solve and cleared between queries by its owner.
+class EvalCache {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 1024 slots).
+  explicit EvalCache(size_t capacity = 1 << 16);
+
+  /// True (and `*out` filled) when `key` is present.
+  bool Lookup(uint64_t key, SubQObjectives* out) const;
+  /// Inserts unless the probe window is exhausted (then a no-op).
+  void Insert(uint64_t key, const SubQObjectives& value);
+  /// Empties the table. Not thread-safe against concurrent access.
+  void Clear();
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> tag{kEmpty};
+    SubQObjectives value;
+  };
+  static constexpr uint64_t kEmpty = 0;
+  static constexpr uint64_t kBusy = 1;
+  static constexpr int kMaxProbe = 16;
+
+  std::unique_ptr<Slot[]> slots_;
+  size_t mask_ = 0;
 };
 
 /// \brief Evaluates subQs of one query as standalone stages.
@@ -72,12 +114,34 @@ class SubQEvaluator {
 
   const TaskCostModel& cost_model() const { return cost_model_; }
 
+  /// \brief Evaluation memoization (see EvalCache). Enabled by default:
+  /// repeated configurations across HMOOC weight pairs, cluster
+  /// refinement rounds, and runtime re-optimization incumbents skip
+  /// BuildStage and per-task costing entirely. Hits/misses are exposed
+  /// here and counted under obs "model.eval_cache_{hits,misses}".
+  ///
+  /// Safe to share across solves: evaluation is a pure function of the
+  /// cached key's inputs (the plan's cardinalities are immutable), and
+  /// the runtime completed-subQ mask is part of the key.
+  void set_eval_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
+  bool eval_cache_enabled() const { return cache_enabled_; }
+  uint64_t eval_cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t eval_cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
+
  private:
   const Query* query_;
   std::vector<SubQuery> subqs_;
   std::vector<int> subq_of_op_;
   TaskCostModel cost_model_;
   PriceBook prices_;
+  bool cache_enabled_ = true;
+  mutable EvalCache cache_;
+  mutable std::atomic<uint64_t> cache_hits_{0};
+  mutable std::atomic<uint64_t> cache_misses_{0};
 };
 
 }  // namespace sparkopt

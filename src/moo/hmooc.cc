@@ -9,6 +9,7 @@
 #include "analysis/invariants.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "moo/kmeans.h"
 #include "obs/trace.h"
 #include "params/sampler.h"
@@ -235,6 +236,12 @@ MooRunResult HmoocSolver::Solve() const {
   Rng rng(opts_.seed);
   const int m = model_->num_subqs();
   span.Arg("subqs", m);
+  // Worker pool for the independent fan-outs below. All RNG draws happen
+  // on this thread before each parallel region; workers only fill
+  // index-addressed slots, so results are bitwise identical at any
+  // thread count. Workers must not record obs::Span (main-thread-only).
+  ThreadPool workers(opts_.num_threads);
+  span.Arg("threads", workers.parallelism());
 
   const auto& space = SparkParamSpace();
   const ParamSpace c_space = space.Subspace(ParamCategory::kContext);
@@ -285,50 +292,60 @@ MooRunResult HmoocSolver::Solve() const {
       ps_space, static_cast<size_t>(opts_.theta_p_samples), &rng,
       opts_.search_margin);
   // opt_pool[r][i] = pool indices Pareto-optimal for subQ i under rep r.
+  // Each (representative, subQ) pair is independent: one batched model
+  // call over the whole theta_p pool, fanned out across the workers.
   std::vector<std::vector<std::vector<int>>> opt_pool(
       n_clusters, std::vector<std::vector<int>>(m));
-  for (int r = 0; r < n_clusters; ++r) {
-    const auto& rep_c = theta_c[km.representative[r]];
-    for (int i = 0; i < m; ++i) {
-      std::vector<ObjectiveVector> fs;
-      fs.reserve(pool.size());
-      for (const auto& ps : pool) {
-        fs.push_back(model_->Evaluate(i, MakeConf(rep_c, ps)));
-      }
-      for (size_t j : ParetoIndices(fs)) {
-        opt_pool[r][i].push_back(static_cast<int>(j));
-      }
-    }
-  }
+  workers.ParallelFor(
+      static_cast<size_t>(n_clusters) * m, [&](size_t task) {
+        const int r = static_cast<int>(task / m);
+        const int i = static_cast<int>(task % m);
+        const auto& rep_c = theta_c[km.representative[r]];
+        std::vector<std::vector<double>> confs;
+        confs.reserve(pool.size());
+        for (const auto& ps : pool) confs.push_back(MakeConf(rep_c, ps));
+        std::vector<ObjectiveVector> fs;
+        model_->EvaluateBatch(i, confs, &fs);
+        for (size_t j : ParetoIndices(fs)) {
+          opt_pool[r][i].push_back(static_cast<int>(j));
+        }
+      });
 
   // ---- Step 4 + 5: assign optimal theta_p to members; enrich theta_c ----
+  // Every (member, subQ) cell is independent: slots are pre-sized and
+  // written by index, one batched model call per cell.
   auto evaluate_members =
       [&](const std::vector<std::vector<double>>& members,
           const std::vector<int>& member_cluster, EffectiveSet* eff) {
+        const size_t base = eff->size();
+        eff->resize(base + members.size());
         for (size_t c = 0; c < members.size(); ++c) {
-          const int r = member_cluster[c];
-          std::vector<std::vector<SubQEntry>> subq_sets(m);
-          for (int i = 0; i < m; ++i) {
-            std::vector<ObjectiveVector> fs;
-            fs.reserve(opt_pool[r][i].size());
-            for (int j : opt_pool[r][i]) {
-              fs.push_back(model_->Evaluate(i, MakeConf(members[c], pool[j])));
-            }
-            // Keep only the member-level Pareto entries (Prop. 5.1).
-            for (size_t idx : ParetoIndices(fs)) {
-              subq_sets[i].push_back(
-                  {opt_pool[r][i][idx], std::move(fs[idx])});
-            }
-#ifdef SPARKOPT_VERIFY
-            std::vector<ObjectiveVector> subq_front;
-            subq_front.reserve(subq_sets[i].size());
-            for (const auto& e : subq_sets[i]) subq_front.push_back(e.f);
-            SPARKOPT_VERIFY_FRONT(subq_front,
-                                  "HmoocSolver::Solve (subQ effective set)");
-#endif
-          }
-          eff->push_back(std::move(subq_sets));
+          (*eff)[base + c].resize(m);
         }
+        workers.ParallelFor(members.size() * m, [&](size_t task) {
+          const size_t c = task / m;
+          const int i = static_cast<int>(task % m);
+          const int r = member_cluster[c];
+          std::vector<std::vector<double>> confs;
+          confs.reserve(opt_pool[r][i].size());
+          for (int j : opt_pool[r][i]) {
+            confs.push_back(MakeConf(members[c], pool[j]));
+          }
+          std::vector<ObjectiveVector> fs;
+          model_->EvaluateBatch(i, confs, &fs);
+          auto& subq_set = (*eff)[base + c][i];
+          // Keep only the member-level Pareto entries (Prop. 5.1).
+          for (size_t idx : ParetoIndices(fs)) {
+            subq_set.push_back({opt_pool[r][i][idx], std::move(fs[idx])});
+          }
+#ifdef SPARKOPT_VERIFY
+          std::vector<ObjectiveVector> subq_front;
+          subq_front.reserve(subq_set.size());
+          for (const auto& e : subq_set) subq_front.push_back(e.f);
+          SPARKOPT_VERIFY_FRONT(subq_front,
+                                "HmoocSolver::Solve (subQ effective set)");
+#endif
+        });
       };
 
   EffectiveSet eff;
@@ -367,20 +384,26 @@ MooRunResult HmoocSolver::Solve() const {
 
   // ---- Step 6: DAG aggregation -------------------------------------------
   obs::Span merge_span("hmooc.dag_merge");
-  std::vector<AggregatedPoint> points;
-  for (size_t c = 0; c < eff.size(); ++c) {
+  // Aggregate each theta_c candidate independently, then concatenate in
+  // candidate order so the point sequence matches the sequential path.
+  std::vector<std::vector<AggregatedPoint>> per_cand(eff.size());
+  workers.ParallelFor(eff.size(), [&](size_t c) {
     switch (opts_.aggregation) {
       case DagAggregation::kBoundary:
-        AggregateBoundary(eff, static_cast<int>(c), &points);
+        AggregateBoundary(eff, static_cast<int>(c), &per_cand[c]);
         break;
       case DagAggregation::kWeightedSum:
         AggregateWeightedSum(eff, static_cast<int>(c), opts_.ws_pairs,
-                             opts_.hmooc2_normalize_per_subq, &points);
+                             opts_.hmooc2_normalize_per_subq, &per_cand[c]);
         break;
       case DagAggregation::kDivideAndConquer:
-        AggregateDivideAndConquer(eff, static_cast<int>(c), &points);
+        AggregateDivideAndConquer(eff, static_cast<int>(c), &per_cand[c]);
         break;
     }
+  });
+  std::vector<AggregatedPoint> points;
+  for (auto& cand_points : per_cand) {
+    for (auto& pt : cand_points) points.push_back(std::move(pt));
   }
 
   merge_span.Arg("candidates", static_cast<double>(eff.size()));

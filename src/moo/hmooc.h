@@ -53,6 +53,12 @@ struct HmoocOptions {
   /// evenly but voids the exact-Pareto guarantee of Lemma 1, which holds
   /// for raw-objective weighted sums; disable for the exact variant.
   bool hmooc2_normalize_per_subq = true;
+  /// Worker threads for the independent fan-outs (per-cluster
+  /// representative solves, per-member pool evaluation, per-candidate DAG
+  /// aggregation). 0 = hardware concurrency, 1 = sequential. Results are
+  /// bitwise identical at any thread count: every parallel region writes
+  /// index-addressed slots and all RNG draws stay on the calling thread.
+  int num_threads = 0;
   uint64_t seed = 1;
 };
 

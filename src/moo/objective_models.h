@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 
 #include "model/features.h"
@@ -32,13 +33,17 @@ class AnalyticSubQModel : public SubQObjectiveModel {
   ObjectiveVector Evaluate(int subq,
                            const std::vector<double>& conf) const override;
 
-  size_t eval_count() const override { return evals_; }
+  size_t eval_count() const override {
+    return evals_.load(std::memory_order_relaxed);
+  }
 
   const SubQEvaluator& evaluator() const { return evaluator_; }
+  SubQEvaluator& evaluator() { return evaluator_; }
 
  private:
   SubQEvaluator evaluator_;
-  mutable size_t evals_ = 0;
+  // Relaxed atomic: solver worker threads evaluate concurrently.
+  mutable std::atomic<size_t> evals_{0};
 };
 
 /// \brief Learned phi: features from the hypothesized stage, predictions
@@ -58,13 +63,25 @@ class LearnedSubQModel : public SubQObjectiveModel {
   ObjectiveVector Evaluate(int subq,
                            const std::vector<double>& conf) const override;
 
-  size_t eval_count() const override { return evals_; }
+  /// True batched path: per-conf feature extraction into one flat
+  /// row-major buffer, a single Regressor::PredictBatchInto call, then
+  /// the per-row latency/cost derivation. Bitwise identical to the
+  /// per-call Evaluate loop.
+  void EvaluateBatch(int subq,
+                     const std::vector<std::vector<double>>& confs,
+                     std::vector<ObjectiveVector>* out) const override;
+
+  size_t eval_count() const override {
+    return evals_.load(std::memory_order_relaxed);
+  }
+
+  SubQEvaluator& evaluator() { return evaluator_; }
 
  private:
   SubQEvaluator evaluator_;
   const Regressor* model_;
   PriceBook prices_;
-  mutable size_t evals_ = 0;
+  mutable std::atomic<size_t> evals_{0};
 };
 
 }  // namespace sparkopt

@@ -4,6 +4,15 @@
 
 namespace sparkopt {
 
+void SubQObjectiveModel::EvaluateBatch(
+    int subq, const std::vector<std::vector<double>>& confs,
+    std::vector<ObjectiveVector>* out) const {
+  out->resize(confs.size());
+  for (size_t i = 0; i < confs.size(); ++i) {
+    (*out)[i] = Evaluate(subq, confs[i]);
+  }
+}
+
 ObjectiveVector SubQObjectiveModel::EvaluateQuery(
     const std::vector<double>& theta_c_conf,
     const std::vector<std::vector<double>>& per_subq_conf) const {

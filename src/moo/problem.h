@@ -28,8 +28,23 @@ class SubQObjectiveModel {
 
   virtual int num_subqs() const = 0;
   /// Returns {analytical latency (s), cost ($)} of one subQ.
+  ///
+  /// Implementations must be safe to call concurrently from solver
+  /// worker threads (the HMOOC fan-outs evaluate in parallel).
   virtual ObjectiveVector Evaluate(int subq,
                                    const std::vector<double>& conf) const = 0;
+
+  /// \brief Evaluates one subQ under many configurations in one call
+  /// (the solver hot path: one batch per (cluster, subQ) fan-out).
+  ///
+  /// `out` is resized to `confs.size()`; out[i] corresponds to confs[i]
+  /// and is bitwise identical to Evaluate(subq, confs[i]). The default
+  /// loops over Evaluate; learned models override with true batched
+  /// inference.
+  virtual void EvaluateBatch(int subq,
+                             const std::vector<std::vector<double>>& confs,
+                             std::vector<ObjectiveVector>* out) const;
+
   /// Number of model evaluations performed so far (for benchmarks).
   virtual size_t eval_count() const = 0;
 

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/check.h"
+
 namespace sparkopt {
 namespace obs {
 
@@ -98,6 +100,10 @@ double Session::NowMicros() const {
 
 Span::Span(const char* name) : name_(name), session_(Session::Current()) {
   if (session_ == nullptr) return;
+  // Spans are main-thread-only (see the threading policy in trace.h);
+  // workers must use ScopedHistogramTimer / obs::Observe.
+  SPARKOPT_DCHECK(std::this_thread::get_id() == session_->creator_thread())
+      << "obs::Span constructed off the session's thread";
   depth_ = ThreadDepth()++;
   start_ = std::chrono::steady_clock::now();
   start_us_ = session_->NowMicros();

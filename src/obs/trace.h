@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -25,8 +26,17 @@
 ///
 /// Sessions are installed process-globally (stacked; destruction restores
 /// the previous one). Install a session before spawning worker threads
-/// and keep it alive until they finish; the recording itself is
-/// thread-safe.
+/// and keep it alive until they finish.
+///
+/// Threading policy: `Span` is **main-thread-only** — spans record the
+/// phase structure of the tuning pipeline, and interleaved worker spans
+/// would scramble the nesting-depth bookkeeping and the report's
+/// phase-timing reconstruction. Constructing a Span on any thread other
+/// than the one that installed the session trips a SPARKOPT_DCHECK.
+/// Worker threads (solver fan-outs) must use the thread-safe metric
+/// helpers instead: `Count`/`Observe`/`GaugeAdd` and
+/// `ScopedHistogramTimer`, which only touch the lock-protected
+/// `MetricsRegistry`.
 
 namespace sparkopt {
 namespace obs {
@@ -84,10 +94,15 @@ class Session {
   /// Microseconds elapsed since this session was installed.
   double NowMicros() const;
 
+  /// The thread that installed the session; Spans may only be created
+  /// there (see the threading policy above).
+  std::thread::id creator_thread() const { return creator_; }
+
  private:
   MetricsRegistry metrics_;
   Trace trace_;
   std::chrono::steady_clock::time_point start_;
+  std::thread::id creator_ = std::this_thread::get_id();
   Session* prev_ = nullptr;
 };
 
@@ -96,6 +111,10 @@ class Session {
 ///
 /// `name` must outlive the span (string literals in practice). A span
 /// constructed with no session installed is inert.
+///
+/// Main-thread-only: must be constructed on the thread that installed
+/// the session (DCHECK-enforced). From worker threads, record timing via
+/// ScopedHistogramTimer / obs::Observe instead.
 class Span {
  public:
   explicit Span(const char* name);

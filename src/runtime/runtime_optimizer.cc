@@ -64,7 +64,9 @@ size_t PickWeighted(const std::vector<SubQObjectives>& cands,
 
 RuntimeOptimizer::RuntimeOptimizer(const SubQEvaluator* evaluator,
                                    RuntimeOptimizerOptions opts)
-    : evaluator_(evaluator), opts_(std::move(opts)) {}
+    : evaluator_(evaluator),
+      opts_(std::move(opts)),
+      workers_(opts_.num_threads) {}
 
 void RuntimeOptimizer::OnPlanCollapsed(const LogicalPlan& plan,
                                        const std::vector<SubQuery>& subqs,
@@ -125,7 +127,11 @@ void RuntimeOptimizer::OnPlanCollapsed(const LogicalPlan& plan,
       if (!completed[sq.id]) targets.push_back(sq.id);
     }
   }
-  for (int sq_id : targets) {
+  // The targets carry distinct subQ ids and the candidate samples were
+  // drawn above, so each re-solve is independent: fan the targets out
+  // across the workers, each writing only its own theta_p slot.
+  workers_.ParallelFor(targets.size(), [&](size_t t) {
+    const int sq_id = targets[t];
     std::vector<PlanParams> cands;
     cands.push_back((*theta_p)[std::min<size_t>(sq_id,
                                                 theta_p->size() - 1)]);
@@ -144,7 +150,7 @@ void RuntimeOptimizer::OnPlanCollapsed(const LogicalPlan& plan,
     }
     const size_t best = PickWeighted(objs, opts_.preference, /*hyst=*/0.12);
     (*theta_p)[sq_id] = cands[best];
-  }
+  });
   last_completed_ = completed;
   last_theta_p_ = *theta_p;
 }
@@ -192,13 +198,15 @@ void RuntimeOptimizer::OnStagesReady(const PhysicalPlan& plan,
         StageSpace(), static_cast<size_t>(opts_.theta_s_candidates), &rng,
         /*margin=*/0.05);
     for (const auto& s : samples) cands.push_back(StageFromSub(s));
-    std::vector<SubQObjectives> objs;
-    objs.reserve(cands.size());
-    for (const auto& ts : cands) {
-      objs.push_back(evaluator_->Evaluate(
-          sq_id, context_, tp, ts, CardinalitySource::kEstimated,
-          last_completed_.empty() ? nullptr : &last_completed_));
-    }
+    // The stage loop itself is sequential (shared rng; later stages may
+    // rewrite the same theta_s slot), but the candidate evaluations are
+    // independent — fan them out by index.
+    std::vector<SubQObjectives> objs(cands.size());
+    workers_.ParallelFor(cands.size(), [&](size_t k) {
+      objs[k] = evaluator_->Evaluate(
+          sq_id, context_, tp, cands[k], CardinalitySource::kEstimated,
+          last_completed_.empty() ? nullptr : &last_completed_);
+    });
     const size_t best = PickWeighted(objs, opts_.preference, /*hyst=*/0.12);
     (*theta_s)[sq_id] = cands[best];
   }

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "exec/aqe.h"
 #include "model/subq_evaluator.h"
 #include "moo/problem.h"
@@ -55,6 +56,11 @@ struct RuntimeOptimizerOptions {
   double request_overhead_s = 0.015;
   /// Disable pruning (ablation of Appendix C.2.2).
   bool enable_pruning = true;
+  /// Worker threads for the per-subQ re-solves and candidate evaluation
+  /// fan-outs. 0 = hardware concurrency, 1 = sequential. Results are
+  /// bitwise identical at any thread count (index-addressed outputs; RNG
+  /// draws stay on the calling thread).
+  int num_threads = 0;
   uint64_t seed = 99;
 };
 
@@ -97,6 +103,7 @@ class RuntimeOptimizer : public AqeHooks {
  private:
   const SubQEvaluator* evaluator_;
   RuntimeOptimizerOptions opts_;
+  ThreadPool workers_;
   RequestStats stats_;
   double overhead_s_ = 0.0;
   ContextParams context_;

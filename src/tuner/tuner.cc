@@ -43,6 +43,7 @@ Result<TuningOutcome> Tuner::RunWithConfig(const Query& query,
                        opts_.prices);
     RuntimeOptimizerOptions ro = opts_.runtime;
     ro.preference = opts_.preference;
+    if (opts_.num_threads >= 0) ro.num_threads = opts_.num_threads;
     RuntimeOptimizer hooks(&eval, ro);
     hooks.set_context(tc);
     auto exec = driver.Run(tc, {tp}, {ts}, &hooks, query.seed);
@@ -99,6 +100,7 @@ Result<TuningOutcome> Tuner::Run(const Query& query,
     case TuningMethod::kHmooc3Plus: {
       HmoocOptions ho = opts_.hmooc;
       ho.seed = HashCombine(opts_.seed, query.seed);
+      if (opts_.num_threads >= 0) ho.num_threads = opts_.num_threads;
       HmoocSolver solver(model, ho);
       out.moo = solver.Solve();
       break;
@@ -174,6 +176,7 @@ Result<TuningOutcome> Tuner::Run(const Query& query,
   if (method == TuningMethod::kHmooc3Plus) {
     RuntimeOptimizerOptions ro = opts_.runtime;
     ro.preference = opts_.preference;
+    if (opts_.num_threads >= 0) ro.num_threads = opts_.num_threads;
     RuntimeOptimizer hooks(&eval, ro);
     hooks.set_context(tc);
     if (!out.chosen.per_subq_conf.empty()) {

@@ -46,6 +46,10 @@ struct TunerOptions {
   EvoOptions evo;
   PfOptions pf;
   RuntimeOptimizerOptions runtime;
+  /// Worker threads for the solver and runtime-optimizer fan-outs.
+  /// -1 = keep whatever `hmooc.num_threads` / `runtime.num_threads` say;
+  /// >= 0 overrides both (0 = hardware concurrency, 1 = sequential).
+  int num_threads = -1;
   int so_fw_samples = 3000;
   /// Learned subQ model (nullptr = analytic compile-time model).
   const Regressor* learned_subq_model = nullptr;

@@ -1,0 +1,168 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace sparkopt {
+namespace {
+
+TEST(ThreadPoolTest, InlineModeRunsWithoutWorkers) {
+  // 1 thread means no workers: everything runs on the calling thread.
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 0);
+  EXPECT_EQ(pool.parallelism(), 1);
+  std::vector<int> out(100, 0);
+  pool.ParallelFor(out.size(), [&](size_t i) {
+    out[i] = static_cast<int>(i) + 1;
+  });
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i) + 1);
+  }
+}
+
+TEST(ThreadPoolTest, DefaultPicksHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.parallelism(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(n, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, IndexAddressedResultsMatchSequential) {
+  // The determinism contract: iteration i writes slot i, so the output is
+  // identical to the sequential loop regardless of thread count.
+  auto run = [](int threads) {
+    ThreadPool pool(threads);
+    std::vector<double> out(4096);
+    pool.ParallelFor(out.size(), [&](size_t i) {
+      double v = static_cast<double>(i) * 0.7;
+      for (int k = 0; k < 50; ++k) v = v * 1.0000001 + 0.3;
+      out[i] = v;
+    });
+    return out;
+  };
+  const auto seq = run(1);
+  const auto par = run(4);
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i], par[i]) << "bitwise mismatch at " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOneIterations) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(64,
+                       [&](size_t i) {
+                         if (i == 13) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool must stay usable after a failed ParallelFor.
+  std::atomic<int> sum{0};
+  pool.ParallelFor(10, [&](size_t i) {
+    sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, ExceptionInInlineMode) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(
+                   4, [](size_t i) { if (i == 2) throw std::logic_error("x"); }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  // A ParallelFor issued from a worker must not deadlock: it runs inline.
+  ThreadPool pool(2);
+  std::vector<std::vector<int>> out(8);
+  pool.ParallelFor(out.size(), [&](size_t i) {
+    out[i].assign(16, 0);
+    pool.ParallelFor(out[i].size(), [&](size_t j) {
+      out[i][j] = static_cast<int>(i * 100 + j);
+    });
+  });
+  for (size_t i = 0; i < out.size(); ++i) {
+    for (size_t j = 0; j < out[i].size(); ++j) {
+      EXPECT_EQ(out[i][j], static_cast<int>(i * 100 + j));
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SubmitReturnsFutureWithResult) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([]() -> int { throw std::runtime_error("bad"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SubmitInlineMode) {
+  ThreadPool pool(1);
+  auto f = pool.Submit([] { return std::string("inline"); });
+  EXPECT_EQ(f.get(), "inline");
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmitFromManyThreads) {
+  ThreadPool pool(4);
+  static constexpr int kPer = 50;
+  std::vector<std::future<int>> futures;
+  std::mutex mu;
+  // Hammer Submit from several external threads at once.
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPer; ++i) {
+        auto f = pool.Submit([t, i] { return t * kPer + i; });
+        std::lock_guard<std::mutex> lock(mu);
+        futures.push_back(std::move(f));
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  long long sum = 0;
+  for (auto& f : futures) sum += f.get();
+  const long long n = 4LL * kPer;
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::Shared(), &ThreadPool::Shared());
+  std::atomic<int> sum{0};
+  ThreadPool::Shared().ParallelFor(8, [&](size_t i) {
+    sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 28);
+}
+
+}  // namespace
+}  // namespace sparkopt

@@ -94,6 +94,39 @@ TEST(MlpTest, BatchPredictionMatchesSingle) {
   EXPECT_EQ(batch[1], net.Predict(x[1]));
 }
 
+TEST(MlpTest, FlatBatchBitwiseIdenticalToSingleRow) {
+  // The GEMM path must accumulate each (row, output) dot product in the
+  // same order as Predict: exact equality, not approximate.
+  Mlp net({5, 16, 8, 3}, 21);
+  Rng rng(4);
+  const size_t rows = 100;  // spans several 32-row tiles plus a remainder
+  std::vector<double> flat(rows * 5);
+  for (auto& v : flat) v = rng.Uniform(-2, 2);
+  std::vector<double> out(rows * 3);
+  Mlp::BatchScratch scratch;
+  net.PredictBatchInto(flat.data(), rows, out.data(), &scratch);
+  for (size_t r = 0; r < rows; ++r) {
+    const std::vector<double> row(flat.begin() + r * 5,
+                                  flat.begin() + (r + 1) * 5);
+    const auto single = net.Predict(row);
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_EQ(out[r * 3 + k], single[k]) << "row " << r << " out " << k;
+    }
+  }
+}
+
+TEST(MlpTest, MseFlatMatchesMse) {
+  Mlp net({2, 8, 1}, 3);
+  Matrix x = {{0.1, 0.2}, {-0.5, 1.0}, {2.0, -1.0}};
+  Matrix y = {{1.0}, {0.0}, {-1.0}};
+  std::vector<double> xf, yf;
+  for (const auto& r : x) xf.insert(xf.end(), r.begin(), r.end());
+  for (const auto& r : y) yf.insert(yf.end(), r.begin(), r.end());
+  Mlp::BatchScratch scratch;
+  EXPECT_DOUBLE_EQ(net.MseFlat(xf.data(), yf.data(), x.size(), &scratch),
+                   net.Mse(x, y));
+}
+
 TEST(RegressorTest, FitsPositiveTargetsInLogSpace) {
   Rng rng(13);
   Matrix x, y;
@@ -130,6 +163,26 @@ TEST(RegressorTest, PredictionsNonNegative) {
 TEST(RegressorTest, UntrainedByDefault) {
   Regressor reg;
   EXPECT_FALSE(reg.trained());
+}
+
+TEST(RegressorTest, FlatBatchBitwiseIdenticalToSingleRow) {
+  Regressor reg(2, 2, {8}, 1);
+  Matrix x = {{0, 0}, {1, 1}, {0.3, 0.7}, {-0.2, 0.9}};
+  Matrix y = {{0.1, 0.2}, {0.3, 0.4}, {0.2, 0.1}, {0.4, 0.3}};
+  Mlp::TrainOptions opts;
+  opts.epochs = 5;
+  ASSERT_TRUE(reg.Fit(x, y, opts).ok());
+
+  std::vector<double> flat;
+  for (const auto& r : x) flat.insert(flat.end(), r.begin(), r.end());
+  std::vector<double> out(x.size() * 2);
+  Mlp::BatchScratch scratch;
+  reg.PredictBatchInto(flat.data(), x.size(), out.data(), &scratch);
+  for (size_t r = 0; r < x.size(); ++r) {
+    const auto single = reg.Predict(x[r]);
+    EXPECT_EQ(out[r * 2 + 0], single[0]) << "row " << r;
+    EXPECT_EQ(out[r * 2 + 1], single[1]) << "row " << r;
+  }
 }
 
 }  // namespace

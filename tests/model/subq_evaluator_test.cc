@@ -129,6 +129,49 @@ TEST(SubQEvaluatorTest, DeterministicEvaluation) {
   EXPECT_DOUBLE_EQ(a.cost, b.cost);
 }
 
+TEST(SubQEvaluatorTest, EvalCacheHitsOnRepeatAndIsTransparent) {
+  Fixture cached, uncached;
+  uncached.eval.set_eval_cache_enabled(false);
+  ASSERT_TRUE(cached.eval.eval_cache_enabled());
+  ASSERT_FALSE(uncached.eval.eval_cache_enabled());
+
+  const auto a1 = cached.eval.Evaluate(1, cached.tc, cached.tp, cached.ts,
+                                       CardinalitySource::kEstimated);
+  EXPECT_EQ(cached.eval.eval_cache_hits(), 0u);
+  EXPECT_EQ(cached.eval.eval_cache_misses(), 1u);
+  const auto a2 = cached.eval.Evaluate(1, cached.tc, cached.tp, cached.ts,
+                                       CardinalitySource::kEstimated);
+  EXPECT_EQ(cached.eval.eval_cache_hits(), 1u);
+
+  // Cached results are bitwise identical to the uncached path.
+  const auto b = uncached.eval.Evaluate(1, uncached.tc, uncached.tp,
+                                        uncached.ts,
+                                        CardinalitySource::kEstimated);
+  EXPECT_EQ(a1.analytical_latency, b.analytical_latency);
+  EXPECT_EQ(a1.cost, b.cost);
+  EXPECT_EQ(a2.analytical_latency, b.analytical_latency);
+  EXPECT_EQ(a2.cost, b.cost);
+  EXPECT_EQ(uncached.eval.eval_cache_hits(), 0u);
+  EXPECT_EQ(uncached.eval.eval_cache_misses(), 0u);
+}
+
+TEST(SubQEvaluatorTest, EvalCacheKeySeparatesInputs) {
+  Fixture fx;
+  // Distinct subQ, params, source, and mask must all miss, not collide.
+  fx.eval.Evaluate(0, fx.tc, fx.tp, fx.ts, CardinalitySource::kEstimated);
+  fx.eval.Evaluate(1, fx.tc, fx.tp, fx.ts, CardinalitySource::kEstimated);
+  auto tp2 = fx.tp;
+  tp2.shuffle_partitions += 1;
+  fx.eval.Evaluate(0, fx.tc, tp2, fx.ts, CardinalitySource::kEstimated);
+  fx.eval.Evaluate(0, fx.tc, fx.tp, fx.ts, CardinalitySource::kTrue);
+  std::vector<bool> mask(fx.eval.num_subqs(), false);
+  mask[1] = true;
+  fx.eval.Evaluate(0, fx.tc, fx.tp, fx.ts, CardinalitySource::kEstimated,
+                   &mask);
+  EXPECT_EQ(fx.eval.eval_cache_hits(), 0u);
+  EXPECT_EQ(fx.eval.eval_cache_misses(), 5u);
+}
+
 TEST(SubQEvaluatorTest, ShufflePartitionCountRespected) {
   Fixture fx;
   int join_subq = -1;

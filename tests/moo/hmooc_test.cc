@@ -94,6 +94,48 @@ TEST(HmoocTest, Deterministic) {
   }
 }
 
+// The tentpole determinism contract: the parallel solve must return
+// bitwise the same front as the sequential one, for every aggregation.
+TEST(HmoocTest, BitwiseIdenticalAcrossThreadCounts) {
+  for (auto agg : {DagAggregation::kBoundary, DagAggregation::kWeightedSum,
+                   DagAggregation::kDivideAndConquer}) {
+    Fixture seq_fx, par_fx;  // separate models: fresh eval-cache state
+    auto seq_opts = seq_fx.SmallOpts(agg);
+    seq_opts.num_threads = 1;
+    auto par_opts = par_fx.SmallOpts(agg);
+    par_opts.num_threads = 4;
+    const auto a = HmoocSolver(&seq_fx.model, seq_opts).Solve();
+    const auto b = HmoocSolver(&par_fx.model, par_opts).Solve();
+    ASSERT_EQ(a.pareto.size(), b.pareto.size()) << DagAggregationName(agg);
+    for (size_t i = 0; i < a.pareto.size(); ++i) {
+      EXPECT_EQ(a.pareto[i].objectives, b.pareto[i].objectives)
+          << DagAggregationName(agg) << " point " << i;
+      EXPECT_EQ(a.pareto[i].per_subq_conf, b.pareto[i].per_subq_conf)
+          << DagAggregationName(agg) << " point " << i;
+    }
+    EXPECT_EQ(a.evaluations, b.evaluations);
+  }
+}
+
+// Memoization must be invisible in the results (the cached value is a
+// pure function of the key preimage) and actually hit on this workload.
+TEST(HmoocTest, BitwiseIdenticalWithEvalCacheDisabled) {
+  Fixture on_fx, off_fx;
+  off_fx.model.evaluator().set_eval_cache_enabled(false);
+  const auto opts = on_fx.SmallOpts(DagAggregation::kBoundary);
+  const auto a = HmoocSolver(&on_fx.model, opts).Solve();
+  const auto b = HmoocSolver(&off_fx.model, opts).Solve();
+  ASSERT_EQ(a.pareto.size(), b.pareto.size());
+  for (size_t i = 0; i < a.pareto.size(); ++i) {
+    EXPECT_EQ(a.pareto[i].objectives, b.pareto[i].objectives);
+    EXPECT_EQ(a.pareto[i].per_subq_conf, b.pareto[i].per_subq_conf);
+  }
+  // The member fan-out re-evaluates each representative's Pareto pool
+  // entries, so the cache must see real traffic.
+  EXPECT_GT(on_fx.model.evaluator().eval_cache_hits(), 0u);
+  EXPECT_EQ(off_fx.model.evaluator().eval_cache_hits(), 0u);
+}
+
 TEST(HmoocTest, GridInitAlsoSolves) {
   Fixture fx;
   auto opts = fx.SmallOpts(DagAggregation::kBoundary);
