@@ -62,10 +62,19 @@ void RunBenchmarkSet(const char* name, const std::vector<Query>& queries) {
   Table t({"method", "avg HV", "avg time (s)", "max time (s)"});
   const char* names[] = {"HMOOC1 (divide&conquer)", "HMOOC2 (WS approx)",
                          "HMOOC3 (boundary)"};
+  const char* short_names[] = {"HMOOC1", "HMOOC2", "HMOOC3"};
   for (int i = 0; i < 3; ++i) {
     t.AddRow({names[i], Fmt("%.4f", hv_sum[i] / evaluated),
               Fmt("%.3f", Mean(times[i])),
               Fmt("%.3f", Percentile(times[i], 100))});
+    obs::JsonObject o;
+    o.emplace_back("workload", obs::Json(name));
+    o.emplace_back("method", obs::Json(short_names[i]));
+    o.emplace_back("queries", obs::Json(evaluated));
+    o.emplace_back("avg_hv", obs::Json(hv_sum[i] / evaluated));
+    o.emplace_back("mean_s", obs::Json(Mean(times[i])));
+    o.emplace_back("max_s", obs::Json(Percentile(times[i], 100)));
+    EmitJson("dag_aggregation", obs::Json(std::move(o)));
   }
   t.Print();
   std::printf("\n");

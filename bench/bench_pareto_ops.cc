@@ -6,7 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
+#include "bench_util.h"
 #include "common/pareto.h"
+#include "common/pareto_flat.h"
 #include "common/rng.h"
 
 namespace sparkopt {
@@ -17,6 +21,23 @@ std::vector<ObjectiveVector> RandomPoints(size_t n, int k, uint64_t seed) {
   std::vector<ObjectiveVector> pts(n, ObjectiveVector(k));
   for (auto& p : pts) {
     for (auto& v : p) v = rng.Uniform();
+  }
+  return pts;
+}
+
+// A synthetic Pareto front of exactly n points (x strictly increasing, y
+// strictly decreasing). Filtering random uniforms keeps only ~log n
+// points, which under-exercises the merge; real HMOOC fronts are capped
+// staircases like this one.
+std::vector<ObjectiveVector> StaircaseFront(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ObjectiveVector> pts(n, ObjectiveVector(2));
+  double x = 0.0;
+  double y = static_cast<double>(n);
+  for (auto& p : pts) {
+    x += rng.Uniform(0.1, 1.0);
+    y -= rng.Uniform(0.1, 1.0);
+    p = {x, y};
   }
   return pts;
 }
@@ -69,7 +90,84 @@ void BM_MinkowskiMerge(benchmark::State& state) {
 }
 BENCHMARK(BM_MinkowskiMerge)->Range(256, 16384);
 
+// Dense staircase fronts: the output-sensitive path vs the materialized
+// cross product, on inputs shaped like HMOOC1's capped intermediates.
+void BM_MinkowskiMergeFront(benchmark::State& state) {
+  IndexedFront a, b;
+  a.points = StaircaseFront(state.range(0), 3);
+  b.points = StaircaseFront(state.range(0), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MergeFronts(a, b, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * a.size() * b.size());
+}
+BENCHMARK(BM_MinkowskiMergeFront)->Range(256, 8192);
+
+void BM_MinkowskiMergeFrontNaive(benchmark::State& state) {
+  IndexedFront a, b;
+  a.points = StaircaseFront(state.range(0), 3);
+  b.points = StaircaseFront(state.range(0), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MergeFrontsNaive(a, b, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * a.size() * b.size());
+}
+BENCHMARK(BM_MinkowskiMergeFrontNaive)->Range(256, 2048);
+
 }  // namespace
+
+// RESULT-line JSON for the driver's perf trajectory: merge ns per output
+// point, flat kernel vs the naive cross-product oracle, on staircase
+// fronts. Runs after the google-benchmark loops (and alone in CI, where
+// the loops are filtered out).
+void EmitMergeResults() {
+  const bool fast = benchutil::FastMode();
+  const int reps = fast ? 3 : 10;
+  for (const size_t n : {size_t{256}, size_t{1024}, size_t{4096}}) {
+    IndexedFront a, b;
+    a.points = StaircaseFront(n, 3);
+    b.points = StaircaseFront(n, 5);
+    double flat_s = 1e300;
+    size_t out_size = 0;
+    for (int r = 0; r < reps; ++r) {
+      benchutil::Timer timer;
+      const auto merged = MergeFronts(a, b, nullptr);
+      flat_s = std::min(flat_s, timer.Seconds());
+      out_size = merged.size();
+    }
+    // The naive oracle materializes n^2 points; keep it to sizes where
+    // that is still measurable in seconds, not minutes.
+    double naive_s = -1.0;
+    if (n <= (fast ? 1024u : 4096u)) {
+      naive_s = 1e300;
+      const int naive_reps = n <= 1024 ? reps : 1;
+      for (int r = 0; r < naive_reps; ++r) {
+        benchutil::Timer timer;
+        const auto merged = MergeFrontsNaive(a, b, nullptr);
+        naive_s = std::min(naive_s, timer.Seconds());
+      }
+    }
+    obs::JsonObject o;
+    o.emplace_back("front_size", obs::Json(static_cast<uint64_t>(n)));
+    o.emplace_back("out_size", obs::Json(static_cast<uint64_t>(out_size)));
+    o.emplace_back("flat_ns_per_point",
+                   obs::Json(flat_s * 1e9 / out_size));
+    if (naive_s >= 0.0) {
+      o.emplace_back("naive_ns_per_point",
+                     obs::Json(naive_s * 1e9 / out_size));
+      o.emplace_back("speedup", obs::Json(naive_s / flat_s));
+    }
+    benchutil::EmitJson("pareto_merge", obs::Json(std::move(o)));
+  }
+}
+
 }  // namespace sparkopt
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  sparkopt::EmitMergeResults();
+  return 0;
+}

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "common/pareto_flat.h"
+
 namespace sparkopt {
 namespace analysis {
 
@@ -50,8 +52,23 @@ VerifyReport ParetoVerifier::Verify(const VerifyInput& in) const {
   }
   if (!dims_ok) return report;
 
-  // Mutual non-dominance. Dominates() is strict, so exact duplicates
-  // (stable-order ties kept by ParetoIndices) never flag each other.
+  // Mutual non-dominance. For k = 2 the flat kernel decides the common
+  // all-clear case in O(n log n); the quadratic scan below only runs to
+  // name the offending pairs in the report. Dominates() is strict, so
+  // exact duplicates (stable-order ties kept by ParetoIndices) never
+  // flag each other.
+  if (k == 2) {
+    ParetoScratch scratch;
+    scratch.ax.resize(n);
+    scratch.ay.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      scratch.ax[i] = front[i][0];
+      scratch.ay[i] = front[i][1];
+    }
+    FlatParetoPositions(scratch.ax.data(), scratch.ay.data(), n,
+                        &scratch.kept, &scratch);
+    if (scratch.kept.size() == n) return report;
+  }
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j < n; ++j) {
       if (i != j && Dominates(front[i], front[j])) {

@@ -6,7 +6,21 @@
 #include <limits>
 #include <numeric>
 
+#include "common/pareto_flat.h"
+
 namespace sparkopt {
+
+namespace {
+
+// Per-thread kernel scratch for the AoS shims: solver worker threads
+// call these concurrently, and the buffers reach a steady state after
+// the first few calls on each thread.
+ParetoScratch& TlsScratch() {
+  thread_local ParetoScratch scratch;
+  return scratch;
+}
+
+}  // namespace
 
 bool Dominates(const ObjectiveVector& a, const ObjectiveVector& b) {
   bool strictly_better = false;
@@ -20,38 +34,20 @@ bool Dominates(const ObjectiveVector& a, const ObjectiveVector& b) {
 
 namespace {
 
-// Sort-based 2D non-dominated filter (Kung et al. 1975): sort by first
-// objective then sweep keeping the running minimum of the second.
+// Sort-based 2D non-dominated filter (Kung et al. 1975), routed through
+// the flat kernel: one SoA staging pass replaces the ObjectiveVector
+// comparator sort, and the scratch buffers persist per thread.
 std::vector<size_t> Pareto2D(const std::vector<ObjectiveVector>& pts) {
-  std::vector<size_t> order(pts.size());
-  std::iota(order.begin(), order.end(), size_t{0});
-  std::sort(order.begin(), order.end(), [&](size_t i, size_t j) {
-    if (pts[i][0] != pts[j][0]) return pts[i][0] < pts[j][0];
-    if (pts[i][1] != pts[j][1]) return pts[i][1] < pts[j][1];
-    return i < j;  // stable for exact duplicates
-  });
-  std::vector<size_t> keep;
-  double best_y = std::numeric_limits<double>::infinity();
-  double prev_x = std::numeric_limits<double>::quiet_NaN();
-  double prev_y = std::numeric_limits<double>::quiet_NaN();
-  for (size_t idx : order) {
-    const double x = pts[idx][0];
-    const double y = pts[idx][1];
-    // Keep exact duplicates of a kept point; otherwise require strictly
-    // smaller y than everything to the left.
-    if (!keep.empty() && x == prev_x && y == prev_y) {
-      keep.push_back(idx);
-      continue;
-    }
-    if (y < best_y) {
-      keep.push_back(idx);
-      best_y = y;
-      prev_x = x;
-      prev_y = y;
-    }
+  ParetoScratch& scratch = TlsScratch();
+  scratch.ax.resize(pts.size());
+  scratch.ay.resize(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    scratch.ax[i] = pts[i][0];
+    scratch.ay[i] = pts[i][1];
   }
-  std::sort(keep.begin(), keep.end());
-  return keep;
+  FlatParetoPositions(scratch.ax.data(), scratch.ay.data(), pts.size(),
+                      &scratch.kept, &scratch);
+  return {scratch.kept.begin(), scratch.kept.end()};
 }
 
 // Generic k-D filter. Pre-sorts by sum of objectives so dominators tend to
@@ -99,28 +95,18 @@ std::vector<ObjectiveVector> ParetoFilter(
 double Hypervolume2D(const std::vector<ObjectiveVector>& front,
                      const ObjectiveVector& ref) {
   if (front.empty()) return 0.0;
-  // Deduplicate + keep non-dominated, sorted by x ascending.
-  auto nd_idx = ParetoIndices(front);
-  std::vector<ObjectiveVector> nd;
-  for (size_t i : nd_idx) nd.push_back(front[i]);
-  std::sort(nd.begin(), nd.end());
-  nd.erase(std::unique(nd.begin(), nd.end()), nd.end());
-  // Points sorted by x have non-increasing y on a 2D front, so the
-  // dominated region decomposes into disjoint strips
-  // [x_i, ref_x] x [y_i, y_{i-1}], accumulated left to right.
-  double hv = 0.0;
-  double last_y = ref[1];
-  for (const auto& p : nd) {
-    const double x = p[0];
-    const double y = p[1];
-    if (x >= ref[0]) break;
-    const double clipped_y = std::min(y, last_y);
-    if (clipped_y < last_y) {
-      hv += (ref[0] - x) * (last_y - clipped_y);
-      last_y = clipped_y;
-    }
+  // Staircase sweep in the flat kernel: dominated/duplicate points fail
+  // the strict-improvement test there, so no filter or dedup pass is
+  // needed and the accumulated terms are identical.
+  ParetoScratch& scratch = TlsScratch();
+  scratch.ax.resize(front.size());
+  scratch.ay.resize(front.size());
+  for (size_t i = 0; i < front.size(); ++i) {
+    scratch.ax[i] = front[i][0];
+    scratch.ay[i] = front[i][1];
   }
-  return hv;
+  return FlatHypervolume2(scratch.ax.data(), scratch.ay.data(), front.size(),
+                          ref[0], ref[1], &scratch);
 }
 
 namespace {
@@ -210,6 +196,38 @@ IndexedFront FilterDominated(IndexedFront front) {
 
 IndexedFront MergeFronts(const IndexedFront& a, const IndexedFront& b,
                          std::vector<std::pair<size_t, size_t>>* combo_out) {
+  const size_t k = a.empty() ? 0 : a.points[0].size();
+  if (k != 2) return MergeFrontsNaive(a, b, combo_out);
+
+  ParetoScratch& scratch = TlsScratch();
+  Front2 fa, fb, merged;
+  fa.reserve(a.size());
+  fb.reserve(b.size());
+  for (const auto& p : a.points) fa.Append(p[0], p[1], 0);
+  for (const auto& p : b.points) fb.Append(p[0], p[1], 0);
+  FlatMerge2(fa, fb, &merged, &scratch);
+
+  const size_t combo_base = combo_out != nullptr ? combo_out->size() : 0;
+  IndexedFront out;
+  out.points.reserve(merged.size());
+  out.payloads.reserve(merged.size());
+  if (combo_out != nullptr) combo_out->reserve(combo_base + merged.size());
+  for (size_t p = 0; p < merged.size(); ++p) {
+    out.points.push_back({merged.x[p], merged.y[p]});
+    out.payloads.push_back(combo_base + p);
+    if (combo_out != nullptr) {
+      const MergePair& pair = scratch.pairs[p];
+      combo_out->emplace_back(
+          a.payloads.empty() ? pair.i : a.payloads[pair.i],
+          b.payloads.empty() ? pair.j : b.payloads[pair.j]);
+    }
+  }
+  return out;
+}
+
+IndexedFront MergeFrontsNaive(
+    const IndexedFront& a, const IndexedFront& b,
+    std::vector<std::pair<size_t, size_t>>* combo_out) {
   IndexedFront combined;
   std::vector<std::pair<size_t, size_t>> combos;
   combined.points.reserve(a.size() * b.size());
@@ -227,16 +245,16 @@ IndexedFront MergeFronts(const IndexedFront& a, const IndexedFront& b,
     }
   }
   auto keep = ParetoIndices(combined.points);
+  const size_t combo_base = combo_out != nullptr ? combo_out->size() : 0;
   IndexedFront out;
-  std::vector<std::pair<size_t, size_t>> kept_combos;
   out.points.reserve(keep.size());
-  kept_combos.reserve(keep.size());
+  out.payloads.reserve(keep.size());
+  if (combo_out != nullptr) combo_out->reserve(combo_base + keep.size());
   for (size_t idx : keep) {
     out.points.push_back(std::move(combined.points[idx]));
-    out.payloads.push_back(out.points.size() - 1);
-    kept_combos.push_back(combos[idx]);
+    out.payloads.push_back(combo_base + (out.points.size() - 1));
+    if (combo_out != nullptr) combo_out->push_back(combos[idx]);
   }
-  if (combo_out != nullptr) *combo_out = std::move(kept_combos);
   return out;
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 /// \file pareto.h
@@ -12,6 +13,13 @@
 ///
 /// All objectives are minimized. A point with k objectives is a
 /// std::vector<double> of size k.
+///
+/// This header is the AoS shim over the flat kernel in pareto_flat.h:
+/// the 2-objective paths of ParetoIndices, Hypervolume2D, and
+/// MergeFronts delegate to the structure-of-arrays kernel and are
+/// bitwise identical — same points, same payload mapping, same stable
+/// tie order — to the naive formulations they replaced (the naive merge
+/// survives as MergeFrontsNaive for property tests and k > 2).
 
 namespace sparkopt {
 
@@ -73,14 +81,34 @@ struct IndexedFront {
 /// payloads filtered consistently).
 IndexedFront FilterDominated(IndexedFront front);
 
-/// \brief Minkowski-sum merge of two fronts (Algorithm 3): enumerates all
-/// |a| x |b| combinations, sums objective vectors, and keeps the Pareto
-/// front. `combo_out`, if non-null, receives one (payload_a, payload_b)
-/// pair per surviving point, aligned with the returned front's points.
+/// \brief Minkowski-sum merge of two fronts (Algorithm 3): sums every
+/// |a| x |b| combination of objective vectors and keeps the Pareto front
+/// (the non-dominated multiset, duplicates included), ordered by
+/// cross-product index i * |b| + j. For 2-objective input the
+/// output-sensitive flat kernel (pareto_flat.h) is used, so the product
+/// is never materialized; k > 2 falls back to MergeFrontsNaive.
+///
+/// Payload contract: each surviving point originates from one
+/// (a-point, b-point) combination. When `combo_out` is non-null the pair
+/// (a.payloads[i], b.payloads[j]) of the p-th survivor is **appended**
+/// to `*combo_out` (empty input payloads degrade to positions), and
+/// `out.payloads[p]` is the index of that row in the grown table — i.e.
+/// combo_out->size() before the call, plus p. Appending (rather than
+/// overwriting) lets a caller chain merges over one combination table:
+/// a payload always resolves to the table row that reconstructs its
+/// full combination. With `combo_out == nullptr` the payloads still
+/// number survivors 0..n-1 against an imaginary empty table.
 ///
 /// By Proposition B.1, Pf(Pf(F) ⊕ Pf(G)) = Pf(F x G), so merging the
 /// children's fronts loses no query-level Pareto solution.
 IndexedFront MergeFronts(const IndexedFront& a, const IndexedFront& b,
                          std::vector<std::pair<size_t, size_t>>* combo_out);
+
+/// \brief Reference implementation of MergeFronts that materializes the
+/// full cross product before filtering. Identical output contract (any
+/// k). Kept as the oracle for the flat kernel's bitwise-equivalence
+/// property tests; production call sites use MergeFronts.
+IndexedFront MergeFrontsNaive(const IndexedFront& a, const IndexedFront& b,
+                              std::vector<std::pair<size_t, size_t>>* combo_out);
 
 }  // namespace sparkopt

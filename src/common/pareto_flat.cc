@@ -1,0 +1,303 @@
+#include "common/pareto_flat.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace sparkopt {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Sorts `order` (resized/iota'd here) by (x, y, position). This is the
+// canonical sweep order shared by every kernel primitive: x ascending,
+// ties by y ascending, exact duplicates by position so the sweep is
+// deterministic.
+void SortByXY(const double* x, const double* y, size_t n,
+              std::vector<uint32_t>* order) {
+  order->resize(n);
+  std::iota(order->begin(), order->end(), 0u);
+  std::sort(order->begin(), order->end(), [&](uint32_t i, uint32_t j) {
+    if (x[i] != x[j]) return x[i] < x[j];
+    if (y[i] != y[j]) return y[i] < y[j];
+    return i < j;
+  });
+}
+
+}  // namespace
+
+void FlatParetoPositions(const double* x, const double* y, size_t n,
+                         std::vector<uint32_t>* kept,
+                         ParetoScratch* scratch) {
+  kept->clear();
+  if (n == 0) return;
+  SortByXY(x, y, n, &scratch->order);
+  // Sweep keeping the running minimum of y. A point survives when it
+  // strictly improves the minimum, or is an exact duplicate of the last
+  // survivor (duplicates sort adjacently) — the non-dominated multiset.
+  double best_y = kInf;
+  double prev_x = std::numeric_limits<double>::quiet_NaN();
+  double prev_y = std::numeric_limits<double>::quiet_NaN();
+  for (uint32_t idx : scratch->order) {
+    if (!kept->empty() && x[idx] == prev_x && y[idx] == prev_y) {
+      kept->push_back(idx);
+      continue;
+    }
+    if (y[idx] < best_y) {
+      kept->push_back(idx);
+      best_y = y[idx];
+      prev_x = x[idx];
+      prev_y = y[idx];
+    }
+  }
+  std::sort(kept->begin(), kept->end());
+}
+
+void FlatPareto2(Front2* front, ParetoScratch* scratch) {
+  FlatParetoPositions(front->x.data(), front->y.data(), front->size(),
+                      &scratch->kept, scratch);
+  const std::vector<uint32_t>& keep = scratch->kept;
+  if (keep.size() == front->size()) return;
+  for (size_t p = 0; p < keep.size(); ++p) {
+    const uint32_t src = keep[p];
+    front->x[p] = front->x[src];
+    front->y[p] = front->y[src];
+    front->payload[p] = front->payload[src];
+  }
+  front->x.resize(keep.size());
+  front->y.resize(keep.size());
+  front->payload.resize(keep.size());
+}
+
+namespace {
+
+// Min-heap on sum-x. std::push_heap builds a max-heap, so the
+// comparator is inverted.
+struct CellGreater {
+  bool operator()(const ParetoScratch::HeapCell& a,
+                  const ParetoScratch::HeapCell& b) const {
+    return a.x > b.x;
+  }
+};
+
+// True when y is non-increasing along the (x, y)-sorted order — i.e.
+// the input is a clean staircase, which licenses the binary-search row
+// skip inside the merge.
+bool IsMonotoneStaircase(const std::vector<double>& ys) {
+  for (size_t i = 1; i < ys.size(); ++i) {
+    if (ys[i] > ys[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void FlatMerge2(const Front2& a, const Front2& b, Front2* out,
+                ParetoScratch* scratch) {
+  out->clear();
+  scratch->pairs.clear();
+  const size_t an = a.size();
+  const size_t bn = b.size();
+  if (an == 0 || bn == 0) return;
+
+  // Stage both inputs sorted by (x, y, position) into contiguous scratch,
+  // remembering sorted-position -> original-position maps.
+  SortByXY(a.x.data(), a.y.data(), an, &scratch->order);
+  scratch->ax.resize(an);
+  scratch->ay.resize(an);
+  scratch->amap.resize(an);
+  for (size_t i = 0; i < an; ++i) {
+    const uint32_t src = scratch->order[i];
+    scratch->ax[i] = a.x[src];
+    scratch->ay[i] = a.y[src];
+    scratch->amap[i] = src;
+  }
+  SortByXY(b.x.data(), b.y.data(), bn, &scratch->order);
+  scratch->bx.resize(bn);
+  scratch->by.resize(bn);
+  scratch->bmap.resize(bn);
+  for (size_t j = 0; j < bn; ++j) {
+    const uint32_t src = scratch->order[j];
+    scratch->bx[j] = b.x[src];
+    scratch->by[j] = b.y[src];
+    scratch->bmap[j] = src;
+  }
+  const double* ax = scratch->ax.data();
+  const double* ay = scratch->ay.data();
+  const double* bx = scratch->bx.data();
+  const double* by = scratch->by.data();
+  // A front's staircase has y monotone in sorted order; only then can a
+  // row binary-search past cells that can no longer survive. Non-front
+  // inputs (never produced by the solvers) still merge correctly, one
+  // cell at a time.
+  const bool can_skip = IsMonotoneStaircase(scratch->by);
+
+  auto& heap = scratch->heap;
+  auto& group = scratch->group;
+  auto& keys = scratch->keys;
+  heap.clear();
+  keys.clear();
+
+  // The sum matrix M[i][j] = sorted_a[i] + sorted_b[j] is monotone in x
+  // along both axes, so popping a min-heap of per-row frontier cells
+  // enumerates cells in nondecreasing sum-x. best_y is the minimum sum-y
+  // over all cells with strictly smaller sum-x; a cell whose sum-y
+  // reaches best_y can never be kept later (kept y values only
+  // decrease), which is what the row skip exploits.
+  double best_y = kInf;
+
+  // Pushes row i's next viable cell at position >= j, or retires the row.
+  auto push_row = [&](uint32_t i, uint32_t j) {
+    if (can_skip && j < bn && ay[i] + by[j] >= best_y) {
+      // First j' with sum-y < best_y; sum-y is non-increasing in j.
+      size_t lo = j + 1, hi = bn;
+      while (lo < hi) {
+        const size_t mid = lo + (hi - lo) / 2;
+        if (ay[i] + by[mid] < best_y) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      j = static_cast<uint32_t>(lo);
+    }
+    if (j >= bn) return;
+    heap.push_back({ax[i] + bx[j], ay[i] + by[j], i, j});
+    std::push_heap(heap.begin(), heap.end(), CellGreater{});
+  };
+
+  for (uint32_t i = 0; i < an; ++i) push_row(i, 0);
+
+  while (!heap.empty()) {
+    // Drain the equal-sum-x group: within it, survivors are the cells
+    // achieving the group minimum sum-y (there may be several — exact
+    // duplicates are kept), provided they beat best_y from strictly
+    // smaller x.
+    const double gx = heap.front().x;
+    group.clear();
+    double gmin = kInf;
+    while (!heap.empty() && heap.front().x == gx) {
+      std::pop_heap(heap.begin(), heap.end(), CellGreater{});
+      const ParetoScratch::HeapCell cell = heap.back();
+      heap.pop_back();
+      gmin = std::min(gmin, cell.y);
+      group.push_back(cell);
+      push_row(cell.i, cell.j + 1);
+    }
+    if (gmin < best_y) {
+      for (const auto& cell : group) {
+        if (cell.y == gmin) {
+          keys.push_back(static_cast<uint64_t>(scratch->amap[cell.i]) * bn +
+                         scratch->bmap[cell.j]);
+        }
+      }
+      best_y = gmin;
+    }
+  }
+
+  // Emit in cross-product order — the order the naive path's stable
+  // filter produces — recomputing each sum with the same expression.
+  std::sort(keys.begin(), keys.end());
+  out->reserve(keys.size());
+  scratch->pairs.reserve(keys.size());
+  for (uint64_t key : keys) {
+    const uint32_t i = static_cast<uint32_t>(key / bn);
+    const uint32_t j = static_cast<uint32_t>(key % bn);
+    out->Append(a.x[i] + b.x[j], a.y[i] + b.y[j], out->size());
+    scratch->pairs.push_back({i, j});
+  }
+}
+
+double FlatHypervolume2(const double* x, const double* y, size_t n,
+                        double ref_x, double ref_y, ParetoScratch* scratch) {
+  if (n == 0) return 0.0;
+  SortByXY(x, y, n, &scratch->order);
+  // Left-to-right staircase strips [x_i, ref_x] x [y_i, last_y].
+  // Dominated and duplicate points fail the strict-improvement test and
+  // contribute no term, so the accumulation order and terms are exactly
+  // those of the filter-then-sum path.
+  double hv = 0.0;
+  double last_y = ref_y;
+  for (uint32_t idx : scratch->order) {
+    if (x[idx] >= ref_x) break;
+    const double clipped_y = std::min(y[idx], last_y);
+    if (clipped_y < last_y) {
+      hv += (ref_x - x[idx]) * (last_y - clipped_y);
+      last_y = clipped_y;
+    }
+  }
+  return hv;
+}
+
+bool ParetoInsert(Front2* front, double px, double py, size_t id) {
+  // Position of the first point lex->= (px, py); everything before is
+  // strictly lex-smaller.
+  const size_t n = front->size();
+  size_t lo = 0, hi = n;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    const bool less = front->x[mid] < px ||
+                      (front->x[mid] == px && front->y[mid] < py);
+    if (less) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const size_t pos = lo;
+  // In a sorted front y is non-increasing, so the tightest potential
+  // dominator is the immediate predecessor: lex-smaller with y <= py
+  // always strictly dominates (strict in x, or equal x with strictly
+  // smaller y).
+  if (pos > 0 && front->y[pos - 1] <= py) return false;
+  // Points from pos on have x >= px; those with y >= py are dominated
+  // unless they are exact duplicates of (px, py), which sort first and
+  // are kept. They form a contiguous run.
+  size_t cut = pos;
+  while (cut < n && front->x[cut] == px && front->y[cut] == py) ++cut;
+  size_t end = cut;
+  while (end < n && front->y[end] >= py) ++end;
+  front->x.erase(front->x.begin() + cut, front->x.begin() + end);
+  front->y.erase(front->y.begin() + cut, front->y.begin() + end);
+  front->payload.erase(front->payload.begin() + cut,
+                       front->payload.begin() + end);
+  front->x.insert(front->x.begin() + pos, px);
+  front->y.insert(front->y.begin() + pos, py);
+  front->payload.insert(front->payload.begin() + pos, id);
+  return true;
+}
+
+void EpsilonThin2(Front2* front, double eps, ParetoScratch* scratch) {
+  if (eps <= 0.0 || front->size() <= 2) return;
+  const size_t n = front->size();
+  SortByXY(front->x.data(), front->y.data(), n, &scratch->order);
+  auto& keep = scratch->kept;
+  keep.clear();
+  // Walk the staircase keeping a point only when it escapes the last
+  // survivor's epsilon box on y; the min-x (first) and min-y (last)
+  // extremes always survive so the front's span is preserved.
+  double kept_y = kInf;
+  for (size_t p = 0; p < n; ++p) {
+    const uint32_t idx = scratch->order[p];
+    const bool is_extreme = p == 0 || p + 1 == n;
+    if (is_extreme || kept_y > (1.0 + eps) * front->y[idx]) {
+      keep.push_back(idx);
+      kept_y = front->y[idx];
+    }
+  }
+  if (keep.size() == n) return;
+  std::sort(keep.begin(), keep.end());
+  for (size_t p = 0; p < keep.size(); ++p) {
+    const uint32_t src = keep[p];
+    front->x[p] = front->x[src];
+    front->y[p] = front->y[src];
+    front->payload[p] = front->payload[src];
+  }
+  front->x.resize(keep.size());
+  front->y.resize(keep.size());
+  front->payload.resize(keep.size());
+}
+
+}  // namespace sparkopt

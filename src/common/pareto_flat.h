@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file pareto_flat.h
+/// \brief The flat Pareto kernel: allocation-free structure-of-arrays
+/// primitives for the dominant 2-objective case.
+///
+/// Every MOO solver in this repo bottoms out in three operations —
+/// non-dominated filtering, Minkowski-sum merging (HMOOC1's
+/// divide-and-conquer DAG aggregation, Algorithm 3), and hypervolume —
+/// and the AoS `ObjectiveVector` representation pays one heap allocation
+/// per point for each of them. This kernel keeps a front as three
+/// contiguous arrays (x, y, payload), reuses caller-owned scratch
+/// buffers, and never materializes the |a| x |b| cross product of a
+/// merge.
+///
+/// Semantics contract (shared with common/pareto.h): all objectives are
+/// minimized; a "front" is the *non-dominated multiset* of its input —
+/// exact duplicates of a non-dominated point are all kept — and every
+/// operation preserves the caller's point order (for the merge: the
+/// cross-product order i * |b| + j). These are exactly the semantics of
+/// the naive `ParetoIndices` / `MergeFronts` path, so the two paths
+/// produce bitwise-identical fronts; `tests/common/pareto_flat_test.cc`
+/// pins the equivalence property.
+
+namespace sparkopt {
+
+/// \brief A 2-objective front in structure-of-arrays layout.
+///
+/// `x[i]`/`y[i]` are the two (minimized) objectives of point i;
+/// `payload[i]` is an opaque caller id (combination-table row, pool
+/// index, candidate index). The three arrays always have equal size.
+struct Front2 {
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<size_t> payload;
+
+  size_t size() const { return x.size(); }
+  bool empty() const { return x.empty(); }
+
+  void clear() {
+    x.clear();
+    y.clear();
+    payload.clear();
+  }
+  void reserve(size_t n) {
+    x.reserve(n);
+    y.reserve(n);
+    payload.reserve(n);
+  }
+  void Append(double px, double py, size_t id) {
+    x.push_back(px);
+    y.push_back(py);
+    payload.push_back(id);
+  }
+};
+
+/// One surviving cell of a Minkowski merge: positions into the two input
+/// fronts (not payloads — the caller maps positions however it likes).
+struct MergePair {
+  uint32_t i = 0;  ///< position in front `a`
+  uint32_t j = 0;  ///< position in front `b`
+};
+
+/// \brief Reusable scratch for the kernel. Create one per thread (or per
+/// solver task) and pass it to every call; buffers grow to the
+/// high-water mark and are never shrunk, so steady-state kernel calls
+/// perform no allocation. Contents are invalidated by the next call
+/// that uses them (`pairs` in particular: consume it before the next
+/// FlatMerge2 on the same scratch).
+struct ParetoScratch {
+  /// Output of the last FlatMerge2: one (i, j) position pair per kept
+  /// point, aligned with the output front, in cross-product order.
+  std::vector<MergePair> pairs;
+
+  // -- internal buffers -------------------------------------------------
+  struct HeapCell {
+    double x = 0.0;  ///< sum x (heap key)
+    double y = 0.0;  ///< sum y
+    uint32_t i = 0;  ///< sorted position in a
+    uint32_t j = 0;  ///< sorted position in b
+  };
+  std::vector<HeapCell> heap;
+  std::vector<HeapCell> group;
+  std::vector<uint32_t> order;    ///< generic index-sort buffer
+  std::vector<uint32_t> kept;     ///< kept positions buffer
+  std::vector<uint64_t> keys;     ///< kept cross-product keys
+  std::vector<double> ax, ay;     ///< a sorted into SoA staging
+  std::vector<double> bx, by;     ///< b sorted into SoA staging
+  std::vector<uint32_t> amap, bmap;  ///< sorted position -> original
+};
+
+/// \brief Non-dominated positions of the multiset {(x[i], y[i])}.
+///
+/// Appends to `*kept` (cleared first) the positions of all points not
+/// strictly dominated by any other point, in ascending position order —
+/// the same set and order `ParetoIndices` produces for 2-objective
+/// input. O(n log n), no allocation beyond scratch growth.
+void FlatParetoPositions(const double* x, const double* y, size_t n,
+                         std::vector<uint32_t>* kept, ParetoScratch* scratch);
+
+/// \brief Filters `*front` in place to its non-dominated multiset
+/// (points and payloads compacted consistently, input order preserved).
+void FlatPareto2(Front2* front, ParetoScratch* scratch);
+
+/// \brief Output-sensitive Minkowski-sum merge (Algorithm 3 without the
+/// cross product).
+///
+/// Writes to `*out` (cleared first) the non-dominated multiset of
+/// {(a.x[i] + b.x[j], a.y[i] + b.y[j])} in cross-product order
+/// (i * b.size() + j ascending), with `out->payload[p] = p`;
+/// `scratch->pairs[p]` holds the originating (i, j) positions. The sums
+/// and the kept set/order are bitwise identical to materializing the
+/// product and filtering with `ParetoIndices`.
+///
+/// The sweep sorts both inputs by (x, y), pushes each a-row's first
+/// viable cell into a min-heap keyed on sum-x, and pops cells in sum-x
+/// groups, advancing each row past provably-dominated cells by binary
+/// search (a front's y is monotone in its sorted x). With Pareto-front
+/// inputs of sizes n = |a|, m = |b| and output size r this performs
+/// O((n + m + r + d) log(n + m)) work, where d — the dominated cells the
+/// heap still surfaces — is small in practice instead of n * m. Inputs
+/// that are not fronts are still merged correctly (the binary-search
+/// skip just disables itself on the non-monotone side).
+void FlatMerge2(const Front2& a, const Front2& b, Front2* out,
+                ParetoScratch* scratch);
+
+/// \brief Exact hypervolume dominated by the staircase of {(x, y)} and
+/// bounded by (ref_x, ref_y). Accepts any point multiset (dominated
+/// points contribute nothing); bitwise identical to `Hypervolume2D` on
+/// the same input. O(n log n), scratch-buffered.
+double FlatHypervolume2(const double* x, const double* y, size_t n,
+                        double ref_x, double ref_y, ParetoScratch* scratch);
+
+/// \brief Incrementally inserts (px, py, id) into `*front`, which must
+/// be (and stays) sorted by (x, y) ascending — the canonical staircase
+/// order with exact duplicates adjacent.
+///
+/// Returns false (front untouched) when an existing point strictly
+/// dominates the new one; otherwise removes the points the new one
+/// strictly dominates and inserts it, returning true. Maintaining an
+/// archive this way yields exactly the sorted non-dominated multiset of
+/// all points ever offered — the value sequence of
+/// `sort(ParetoFilter(all))`.
+bool ParetoInsert(Front2* front, double px, double py, size_t id);
+
+/// \brief Epsilon-dominance thinning for front-size budgets (HMOOC1's
+/// optional knob): sweeping the staircase in (x, y) order, drops a point
+/// when the previously kept point eps-dominates it on the y axis
+/// (kept_y <= (1 + eps) * y; objectives must be nonnegative for the
+/// multiplicative grid to make sense). The staircase extremes (min-x and
+/// min-y points) are always kept, input order is preserved, and
+/// eps <= 0 is a no-op — so the default configuration stays on the
+/// bitwise-exact path.
+void EpsilonThin2(Front2* front, double eps, ParetoScratch* scratch);
+
+}  // namespace sparkopt

@@ -75,8 +75,25 @@ QueryExecution Simulator::RunStages(const PhysicalPlan& plan,
   std::priority_queue<double, std::vector<double>, std::greater<>> cores;
   for (int i = 0; i < total_cores; ++i) cores.push(0.0);
 
-  // Stage completion bookkeeping.
+  // Stage completion bookkeeping. A degree-count pass sizes each
+  // dependents list exactly, so the fill pass below never reallocates —
+  // this path runs once per simulated (sub)query and the trainer/AQE
+  // loops simulate thousands of them.
   std::vector<std::vector<int>> dependents(pending.size());
+  {
+    std::vector<int> degree(pending.size(), 0);
+    for (const auto& ps : pending) {
+      for (int d : ps.stage->deps) {
+        if (in_subset[d] >= 0) ++degree[in_subset[d]];
+      }
+      for (int d : ps.stage->broadcast_deps) {
+        if (in_subset[d] >= 0) ++degree[in_subset[d]];
+      }
+    }
+    for (size_t i = 0; i < pending.size(); ++i) {
+      dependents[i].reserve(degree[i]);
+    }
+  }
   for (size_t i = 0; i < pending.size(); ++i) {
     for (int d : pending[i].stage->deps) {
       if (in_subset[d] >= 0) dependents[in_subset[d]].push_back(i);
@@ -105,10 +122,13 @@ QueryExecution Simulator::RunStages(const PhysicalPlan& plan,
   };
 
   int stages_left = static_cast<int>(pending.size());
+  // Ready list reused across dispatch rounds (cleared, never freed).
+  std::vector<int> ready;
+  ready.reserve(pending.size());
   // Track per-core next-free times; dispatch loop.
   while (stages_left > 0) {
     // Collect ready stages with remaining tasks.
-    std::vector<int> ready;
+    ready.clear();
     for (size_t i = 0; i < pending.size(); ++i) {
       auto& ps = pending[i];
       if (ps.done || ps.deps_remaining > 0) continue;

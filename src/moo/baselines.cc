@@ -6,6 +6,7 @@
 #include <limits>
 #include <numeric>
 
+#include "common/pareto_flat.h"
 #include "common/rng.h"
 
 namespace sparkopt {
@@ -372,6 +373,15 @@ MooRunResult SolveProgressiveFrontier(const QueryObjectiveFn& fn,
 
   std::vector<std::vector<double>> xs;
   std::vector<ObjectiveVector> fs;
+  // Incremental Pareto archive over everything in `fs`: ParetoInsert
+  // keeps it equal (same values, same sorted order) to
+  // sort(ParetoFilter(fs)) without refiltering per iteration.
+  Front2 archive;
+  auto record = [&](std::vector<double> x, ObjectiveVector f) {
+    ParetoInsert(&archive, f[0], f[1], archive.size());
+    xs.push_back(std::move(x));
+    fs.push_back(std::move(f));
+  };
 
   // Extreme points: unconstrained minimization of each objective.
   ConstrainedBest ex0 =
@@ -380,14 +390,8 @@ MooRunResult SolveProgressiveFrontier(const QueryObjectiveFn& fn,
   ConstrainedBest ex1 =
       ConstrainedMinimize(fn, 1, kInfLo, kInfHi, opts.inner_samples,
                           opts.refine_steps, &rng, &evals);
-  if (ex0.found) {
-    xs.push_back(ex0.x);
-    fs.push_back(ex0.f);
-  }
-  if (ex1.found) {
-    xs.push_back(ex1.x);
-    fs.push_back(ex1.f);
-  }
+  if (ex0.found) record(ex0.x, ex0.f);
+  if (ex1.found) record(ex1.x, ex1.f);
 
   // Uncertainty rectangles between adjacent Pareto points, subdivided
   // largest-first.
@@ -399,10 +403,9 @@ MooRunResult SolveProgressiveFrontier(const QueryObjectiveFn& fn,
   };
   auto make_rects = [&]() {
     std::vector<Rect> rects;
-    std::vector<ObjectiveVector> front = ParetoFilter(fs);
-    std::sort(front.begin(), front.end());
-    for (size_t i = 0; i + 1 < front.size(); ++i) {
-      rects.push_back({front[i], front[i + 1]});
+    for (size_t i = 0; i + 1 < archive.size(); ++i) {
+      rects.push_back({{archive.x[i], archive.y[i]},
+                       {archive.x[i + 1], archive.y[i + 1]}});
     }
     return rects;
   };
@@ -438,8 +441,7 @@ MooRunResult SolveProgressiveFrontier(const QueryObjectiveFn& fn,
       }
     }
     if (dup) break;
-    xs.push_back(mid.x);
-    fs.push_back(mid.f);
+    record(std::move(mid.x), std::move(mid.f));
   }
   return FinishResult(decoder, std::move(xs), std::move(fs), Seconds(t0),
                       evals);

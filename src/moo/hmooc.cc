@@ -8,6 +8,7 @@
 
 #include "analysis/invariants.h"
 #include "common/check.h"
+#include "common/pareto_flat.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "moo/kmeans.h"
@@ -37,7 +38,8 @@ using EffectiveSet = std::vector<std::vector<std::vector<SubQEntry>>>;
 
 std::vector<double> MakeConf(const std::vector<double>& theta_c,
                              const std::vector<double>& theta_ps) {
-  std::vector<double> conf = DefaultSparkConfig();
+  static const std::vector<double> kDefault = DefaultSparkConfig();
+  std::vector<double> conf = kDefault;
   for (size_t i = 0; i < theta_c.size() && i < 8; ++i) conf[i] = theta_c[i];
   for (size_t i = 0; i < theta_ps.size() && i < 11; ++i) {
     conf[8 + i] = theta_ps[i];
@@ -138,91 +140,138 @@ void AggregateWeightedSum(const EffectiveSet& eff, int candidate,
 }
 
 // ---- HMOOC1: exact divide-and-conquer (Algorithms 2 & 3) ----------------
+//
+// The divide-and-conquer tree runs entirely on the flat kernel
+// (pareto_flat.h): each node keeps its front in SoA layout and its
+// choice vectors as flat rows of `width` pool indices, so a merge is one
+// output-sensitive FlatMerge2 plus row concatenations — no per-point
+// ObjectiveVector or choice-vector allocations, and never the |a| x |b|
+// cross product.
 struct DcNode {
-  std::vector<ObjectiveVector> f;
-  std::vector<std::vector<int>> choice;  ///< per point: pool idx per subQ
+  Front2 front;             ///< point p at (front.x[p], front.y[p])
+  std::vector<int> choice;  ///< row p = choice[p*width .. p*width+width)
+  int width = 0;            ///< subQs covered: choice-row length
 };
 
 // Thins a front to at most `cap` points, keeping the extremes and evenly
-// spaced interior points along the f0-sorted order. Exact divide-and-
-// conquer merging can otherwise grow multiplicatively with the number of
-// subQs (the "total complexity could be high" caveat in Appendix B.2).
-void ThinFront(DcNode* node, size_t cap) {
-  if (node->f.size() <= cap || cap < 2) return;
-  std::vector<size_t> order(node->f.size());
-  std::iota(order.begin(), order.end(), size_t{0});
-  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
-    return node->f[x][0] < node->f[y][0];
+// spaced interior points along the f0-sorted order (ties broken by f1,
+// then position, for determinism). Exact divide-and-conquer merging can
+// otherwise grow multiplicatively with the number of subQs (the "total
+// complexity could be high" caveat in Appendix B.2).
+void ThinFront(DcNode* node, size_t cap, ParetoScratch* scratch) {
+  const size_t n = node->front.size();
+  if (n <= cap || cap < 2) return;
+  auto& order = scratch->order;
+  order.resize(n);
+  std::iota(order.begin(), order.end(), 0u);
+  const double* x = node->front.x.data();
+  const double* y = node->front.y.data();
+  std::sort(order.begin(), order.end(), [&](uint32_t p, uint32_t q) {
+    if (x[p] != x[q]) return x[p] < x[q];
+    if (y[p] != y[q]) return y[p] < y[q];
+    return p < q;
   });
+  const int w = node->width;
   DcNode thinned;
-  thinned.f.reserve(cap);
-  thinned.choice.reserve(cap);
+  thinned.width = w;
+  thinned.front.reserve(cap);
+  thinned.choice.reserve(cap * w);
   for (size_t i = 0; i < cap; ++i) {
-    const size_t pos = i * (order.size() - 1) / (cap - 1);
-    thinned.f.push_back(std::move(node->f[order[pos]]));
-    thinned.choice.push_back(std::move(node->choice[order[pos]]));
+    const uint32_t src = order[i * (n - 1) / (cap - 1)];
+    thinned.front.Append(node->front.x[src], node->front.y[src],
+                         thinned.front.size());
+    const int* row = node->choice.data() + static_cast<size_t>(src) * w;
+    thinned.choice.insert(thinned.choice.end(), row, row + w);
   }
   *node = std::move(thinned);
 }
 
-DcNode MergeDc(const DcNode& a, const DcNode& b) {
-  DcNode merged;
-  merged.f.reserve(a.f.size() * b.f.size());
-  merged.choice.reserve(a.f.size() * b.f.size());
-  for (size_t i = 0; i < a.f.size(); ++i) {
-    for (size_t j = 0; j < b.f.size(); ++j) {
-      merged.f.push_back({a.f[i][0] + b.f[j][0], a.f[i][1] + b.f[j][1]});
-      std::vector<int> ch = a.choice[i];
-      ch.insert(ch.end(), b.choice[j].begin(), b.choice[j].end());
-      merged.choice.push_back(std::move(ch));
-    }
+// Optional epsilon-dominance budget: shrinks the front on the epsilon
+// grid and compacts the choice rows through the surviving payloads.
+// No-op at eps <= 0, keeping the default path bitwise exact.
+void EpsilonThinDc(DcNode* node, double eps, ParetoScratch* scratch) {
+  const size_t n = node->front.size();
+  EpsilonThin2(&node->front, eps, scratch);
+  if (node->front.size() == n) return;
+  const int w = node->width;
+  std::vector<int> compact;
+  compact.reserve(node->front.size() * w);
+  for (size_t p = 0; p < node->front.size(); ++p) {
+    const int* row =
+        node->choice.data() + node->front.payload[p] * static_cast<size_t>(w);
+    compact.insert(compact.end(), row, row + w);
+    node->front.payload[p] = p;
   }
-  const auto keep = ParetoIndices(merged.f);
+  node->choice = std::move(compact);
+}
+
+DcNode MergeDc(const DcNode& a, const DcNode& b, ParetoScratch* scratch) {
   DcNode out;
-  out.f.reserve(keep.size());
-  out.choice.reserve(keep.size());
-  for (size_t idx : keep) {
-    out.f.push_back(std::move(merged.f[idx]));
-    out.choice.push_back(std::move(merged.choice[idx]));
+  out.width = a.width + b.width;
+  FlatMerge2(a.front, b.front, &out.front, scratch);
+  out.choice.reserve(out.front.size() * static_cast<size_t>(out.width));
+  for (const MergePair& pair : scratch->pairs) {
+    const int* ra = a.choice.data() + static_cast<size_t>(pair.i) * a.width;
+    const int* rb = b.choice.data() + static_cast<size_t>(pair.j) * b.width;
+    out.choice.insert(out.choice.end(), ra, ra + a.width);
+    out.choice.insert(out.choice.end(), rb, rb + b.width);
   }
+#ifdef SPARKOPT_VERIFY
   // Every Minkowski-sum merge must hand a mutually non-dominated front to
   // its parent (Algorithm 3 / Proposition B.1).
-  SPARKOPT_VERIFY_FRONT(out.f, "HmoocSolver::MergeDc");
+  std::vector<ObjectiveVector> verify_front;
+  verify_front.reserve(out.front.size());
+  for (size_t p = 0; p < out.front.size(); ++p) {
+    verify_front.push_back({out.front.x[p], out.front.y[p]});
+  }
+  SPARKOPT_VERIFY_FRONT(verify_front, "HmoocSolver::MergeDc");
+#endif
   return out;
 }
 
 DcNode DivideAndConquer(const std::vector<std::vector<SubQEntry>>& sets,
-                        int lo, int hi, size_t cap) {
+                        int lo, int hi, size_t cap, double eps,
+                        ParetoScratch* scratch) {
   if (lo == hi) {
     DcNode node;
+    node.width = 1;
+    node.front.reserve(sets[lo].size());
+    node.choice.reserve(sets[lo].size());
     // Only the subQ-level Pareto entries can contribute (Prop. 5.1);
     // entries were already filtered, so take them all.
     for (const auto& e : sets[lo]) {
-      node.f.push_back(e.f);
-      node.choice.push_back({e.pool_idx});
+      node.front.Append(e.f[0], e.f[1], node.front.size());
+      node.choice.push_back(e.pool_idx);
     }
     return node;
   }
   const int mid = (lo + hi) / 2;
-  DcNode merged = MergeDc(DivideAndConquer(sets, lo, mid, cap),
-                          DivideAndConquer(sets, mid + 1, hi, cap));
-  ThinFront(&merged, cap);
+  DcNode merged =
+      MergeDc(DivideAndConquer(sets, lo, mid, cap, eps, scratch),
+              DivideAndConquer(sets, mid + 1, hi, cap, eps, scratch),
+              scratch);
+  if (eps > 0.0) EpsilonThinDc(&merged, eps, scratch);
+  ThinFront(&merged, cap, scratch);
   return merged;
 }
 
 void AggregateDivideAndConquer(const EffectiveSet& eff, int candidate,
+                               size_t cap, double eps,
                                std::vector<AggregatedPoint>* out) {
   const auto& subq_sets = eff[candidate];
   const int m = static_cast<int>(subq_sets.size());
   for (const auto& s : subq_sets) {
     if (s.empty()) return;
   }
-  DcNode front = DivideAndConquer(subq_sets, 0, m - 1, /*cap=*/192);
-  for (size_t p = 0; p < front.f.size(); ++p) {
+  // Per-thread kernel scratch: candidates fan out across the worker pool.
+  thread_local ParetoScratch scratch;
+  DcNode front = DivideAndConquer(subq_sets, 0, m - 1, cap, eps, &scratch);
+  for (size_t p = 0; p < front.front.size(); ++p) {
     AggregatedPoint pt;
     pt.candidate = candidate;
-    pt.f = std::move(front.f[p]);
-    pt.pool_choice = std::move(front.choice[p]);
+    pt.f = {front.front.x[p], front.front.y[p]};
+    const int* row = front.choice.data() + p * static_cast<size_t>(m);
+    pt.pool_choice.assign(row, row + m);
     out->push_back(std::move(pt));
   }
 }
@@ -397,7 +446,10 @@ MooRunResult HmoocSolver::Solve() const {
                              opts_.hmooc2_normalize_per_subq, &per_cand[c]);
         break;
       case DagAggregation::kDivideAndConquer:
-        AggregateDivideAndConquer(eff, static_cast<int>(c), &per_cand[c]);
+        AggregateDivideAndConquer(
+            eff, static_cast<int>(c),
+            static_cast<size_t>(std::max(opts_.dc_front_cap, 0)),
+            opts_.dc_epsilon, &per_cand[c]);
         break;
     }
   });

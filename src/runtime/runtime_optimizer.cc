@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/check.h"
+#include "common/pareto_flat.h"
 #include "common/rng.h"
 #include "obs/trace.h"
 #include "params/sampler.h"
@@ -57,6 +59,28 @@ size_t PickWeighted(const std::vector<SubQObjectives>& cands,
     }
   }
   if (best != 0 && best_v > (w[0] + w[1]) * (1.0 - hysteresis)) return 0;
+#ifdef SPARKOPT_VERIFY
+  // With both preference weights positive, the weighted argmin is always
+  // Pareto-optimal among the candidates; an adopted challenger that the
+  // kernel reports as dominated means the scoring and the dominance
+  // machinery disagree.
+  if (best != 0 && w[0] > 0.0 && w[1] > 0.0) {
+    ParetoScratch scratch;
+    scratch.ax.resize(cands.size());
+    scratch.ay.resize(cands.size());
+    for (size_t i = 0; i < cands.size(); ++i) {
+      scratch.ax[i] = cands[i].analytical_latency;
+      scratch.ay[i] = cands[i].cost;
+    }
+    FlatParetoPositions(scratch.ax.data(), scratch.ay.data(), cands.size(),
+                        &scratch.kept, &scratch);
+    const bool non_dominated =
+        std::find(scratch.kept.begin(), scratch.kept.end(),
+                  static_cast<uint32_t>(best)) != scratch.kept.end();
+    SPARKOPT_CHECK(non_dominated)
+        << "PickWeighted adopted dominated candidate " << best;
+  }
+#endif
   return best;
 }
 
@@ -164,6 +188,10 @@ void RuntimeOptimizer::OnStagesReady(const PhysicalPlan& plan,
     theta_s->assign(m, theta_s->front());
   }
   Rng rng(HashCombine(opts_.seed, 0x5A + stats_.qs_sent));
+  // Candidate and objective buffers live across the stage loop; each
+  // stage clears and refills them instead of reallocating.
+  std::vector<StageParams> cands;
+  std::vector<SubQObjectives> objs;
   for (int sid : ready) {
     const auto& st = plan.stages[sid];
     // Pruning: QS rules rebalance post-shuffle partitions — skip scan
@@ -188,7 +216,7 @@ void RuntimeOptimizer::OnStagesReady(const PhysicalPlan& plan,
             ? PlanParams{}
             : last_theta_p_[std::min<size_t>(sq_id,
                                              last_theta_p_.size() - 1)];
-    std::vector<StageParams> cands;
+    cands.clear();
     cands.push_back((*theta_s)[sq_id]);
     if (!init_theta_s_.empty()) {
       cands.push_back(init_theta_s_[std::min<size_t>(
@@ -201,7 +229,7 @@ void RuntimeOptimizer::OnStagesReady(const PhysicalPlan& plan,
     // The stage loop itself is sequential (shared rng; later stages may
     // rewrite the same theta_s slot), but the candidate evaluations are
     // independent — fan them out by index.
-    std::vector<SubQObjectives> objs(cands.size());
+    objs.assign(cands.size(), SubQObjectives{});
     workers_.ParallelFor(cands.size(), [&](size_t k) {
       objs[k] = evaluator_->Evaluate(
           sq_id, context_, tp, cands[k], CardinalitySource::kEstimated,

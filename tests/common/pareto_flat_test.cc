@@ -1,0 +1,325 @@
+#include "common/pareto_flat.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/pareto.h"
+#include "common/rng.h"
+
+// Property suite for the flat Pareto kernel: every primitive must be
+// bitwise identical — same points, same payloads, same stable order — to
+// the naive AoS formulation it replaced. Random fronts are drawn with
+// floored coordinates so duplicate points and ties occur constantly.
+
+namespace sparkopt {
+namespace {
+
+std::vector<ObjectiveVector> RandomPoints(Rng* rng, int n, bool ties) {
+  std::vector<ObjectiveVector> pts(n, ObjectiveVector(2));
+  for (auto& p : pts) {
+    p[0] = ties ? std::floor(rng->Uniform(0, 12)) : rng->Uniform(0, 12);
+    p[1] = ties ? std::floor(rng->Uniform(0, 12)) : rng->Uniform(0, 12);
+  }
+  return pts;
+}
+
+// O(n^2) dominance reference: kept iff no other point strictly dominates.
+std::vector<size_t> ReferenceKept(const std::vector<ObjectiveVector>& pts) {
+  std::vector<size_t> kept;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < pts.size() && !dominated; ++j) {
+      dominated = j != i && Dominates(pts[j], pts[i]);
+    }
+    if (!dominated) kept.push_back(i);
+  }
+  return kept;
+}
+
+// The pre-kernel Hypervolume2D implementation, kept verbatim as the
+// bitwise oracle (filter + sort + dedup, then the staircase sum).
+double ReferenceHypervolume(const std::vector<ObjectiveVector>& front,
+                            const ObjectiveVector& ref) {
+  if (front.empty()) return 0.0;
+  auto nd_idx = ParetoIndices(front);
+  std::vector<ObjectiveVector> nd;
+  for (size_t i : nd_idx) nd.push_back(front[i]);
+  std::sort(nd.begin(), nd.end());
+  nd.erase(std::unique(nd.begin(), nd.end()), nd.end());
+  double hv = 0.0;
+  double last_y = ref[1];
+  for (const auto& p : nd) {
+    if (p[0] >= ref[0]) break;
+    const double clipped_y = std::min(p[1], last_y);
+    if (clipped_y < last_y) {
+      hv += (ref[0] - p[0]) * (last_y - clipped_y);
+      last_y = clipped_y;
+    }
+  }
+  return hv;
+}
+
+IndexedFront MakeFront(std::vector<ObjectiveVector> pts, bool with_payloads,
+                       size_t payload_base) {
+  IndexedFront f;
+  f.points = std::move(pts);
+  if (with_payloads) {
+    for (size_t i = 0; i < f.points.size(); ++i) {
+      f.payloads.push_back(payload_base + i);
+    }
+  }
+  return f;
+}
+
+class FlatKernelPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FlatKernelPropertyTest, ParetoPositionsMatchReference) {
+  Rng rng(GetParam());
+  ParetoScratch scratch;
+  for (int round = 0; round < 20; ++round) {
+    const int n = static_cast<int>(rng.NextBounded(40));
+    const auto pts = RandomPoints(&rng, n, round % 2 == 0);
+    std::vector<double> x(n), y(n);
+    for (int i = 0; i < n; ++i) {
+      x[i] = pts[i][0];
+      y[i] = pts[i][1];
+    }
+    std::vector<uint32_t> kept;
+    FlatParetoPositions(x.data(), y.data(), n, &kept, &scratch);
+    const std::vector<size_t> got(kept.begin(), kept.end());
+    EXPECT_EQ(got, ReferenceKept(pts)) << "seed " << GetParam();
+    // The shim must agree too.
+    EXPECT_EQ(ParetoIndices(pts), ReferenceKept(pts));
+  }
+}
+
+// MergeFronts (flat path) vs MergeFrontsNaive: identical points, payloads,
+// combos, and order — with and without caller payloads, against a
+// pre-populated combination table to pin the append contract.
+TEST_P(FlatKernelPropertyTest, MergeMatchesNaiveBitwise) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 12; ++round) {
+    const bool ties = round % 2 == 0;
+    const bool with_payloads = round % 3 != 0;
+    const auto a =
+        MakeFront(RandomPoints(&rng, 1 + rng.NextBounded(18), ties),
+                  with_payloads, 100);
+    const auto b =
+        MakeFront(RandomPoints(&rng, 1 + rng.NextBounded(18), ties),
+                  with_payloads, 500);
+
+    std::vector<std::pair<size_t, size_t>> combos_flat(3, {9, 9});
+    std::vector<std::pair<size_t, size_t>> combos_naive(3, {9, 9});
+    const auto flat = MergeFronts(a, b, &combos_flat);
+    const auto naive = MergeFrontsNaive(a, b, &combos_naive);
+
+    EXPECT_EQ(flat.points, naive.points) << "seed " << GetParam();
+    EXPECT_EQ(flat.payloads, naive.payloads);
+    EXPECT_EQ(combos_flat, combos_naive);
+    // Payloads index the grown table: pre-existing rows untouched.
+    ASSERT_EQ(combos_flat.size(), 3 + flat.size());
+    for (size_t p = 0; p < flat.size(); ++p) {
+      EXPECT_EQ(flat.payloads[p], 3 + p);
+    }
+  }
+}
+
+TEST_P(FlatKernelPropertyTest, HypervolumeMatchesReferenceBitwise) {
+  Rng rng(GetParam());
+  ParetoScratch scratch;
+  for (int round = 0; round < 20; ++round) {
+    const int n = static_cast<int>(rng.NextBounded(30));
+    const auto pts = RandomPoints(&rng, n, round % 2 == 0);
+    const ObjectiveVector ref = {rng.Uniform(6, 14), rng.Uniform(6, 14)};
+    // EXPECT_EQ, not NEAR: same terms in the same order.
+    EXPECT_EQ(Hypervolume2D(pts, ref), ReferenceHypervolume(pts, ref))
+        << "seed " << GetParam();
+  }
+}
+
+// Incremental archive == sorted batch filter (values and multiplicity).
+TEST_P(FlatKernelPropertyTest, ParetoInsertMatchesBatchFilter) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    const auto pts =
+        RandomPoints(&rng, 1 + rng.NextBounded(50), round % 2 == 0);
+    Front2 archive;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      ParetoInsert(&archive, pts[i][0], pts[i][1], i);
+    }
+    std::vector<ObjectiveVector> batch = ParetoFilter(pts);
+    std::sort(batch.begin(), batch.end());
+    ASSERT_EQ(archive.size(), batch.size()) << "seed " << GetParam();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(archive.x[i], batch[i][0]);
+      EXPECT_EQ(archive.y[i], batch[i][1]);
+      // The surviving payload's source point must carry these values.
+      EXPECT_EQ(pts[archive.payload[i]][0], archive.x[i]);
+      EXPECT_EQ(pts[archive.payload[i]][1], archive.y[i]);
+    }
+  }
+}
+
+TEST_P(FlatKernelPropertyTest, EpsilonThinKeepsExtremesAndSubsets) {
+  Rng rng(GetParam());
+  ParetoScratch scratch;
+  for (int round = 0; round < 10; ++round) {
+    // Start from a real front so the staircase structure holds.
+    auto pts = ParetoFilter(RandomPoints(&rng, 40, /*ties=*/false));
+    Front2 front;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      front.Append(pts[i][0], pts[i][1], i);
+    }
+    Front2 untouched = front;
+    EpsilonThin2(&untouched, 0.0, &scratch);  // eps <= 0: exact no-op
+    EXPECT_EQ(untouched.x, front.x);
+    EXPECT_EQ(untouched.payload, front.payload);
+
+    EpsilonThin2(&front, 0.25, &scratch);
+    EXPECT_LE(front.size(), pts.size());
+    double min_x = pts[0][0], min_y = pts[0][1];
+    for (const auto& p : pts) {
+      min_x = std::min(min_x, p[0]);
+      min_y = std::min(min_y, p[1]);
+    }
+    EXPECT_NE(std::find(front.x.begin(), front.x.end(), min_x),
+              front.x.end());
+    EXPECT_NE(std::find(front.y.begin(), front.y.end(), min_y),
+              front.y.end());
+    for (size_t p = 0; p < front.size(); ++p) {
+      // Every survivor is one of the originals (payload resolves it).
+      EXPECT_EQ(front.x[p], pts[front.payload[p]][0]);
+      EXPECT_EQ(front.y[p], pts[front.payload[p]][1]);
+    }
+  }
+}
+
+// k-D fallback (ParetoKD) against the quadratic reference.
+TEST_P(FlatKernelPropertyTest, KdFallbackMatchesReference) {
+  Rng rng(GetParam());
+  for (size_t k : {3, 4, 5}) {
+    std::vector<ObjectiveVector> pts(30, ObjectiveVector(k));
+    for (auto& p : pts) {
+      for (auto& v : p) v = std::floor(rng.Uniform(0, 6));
+    }
+    EXPECT_EQ(ParetoIndices(pts), ReferenceKept(pts)) << "k=" << k;
+  }
+}
+
+// k = 3 takes the naive merge path; its contract must match the flat one.
+TEST_P(FlatKernelPropertyTest, ThreeObjectiveMergeContract) {
+  Rng rng(GetParam());
+  IndexedFront a, b;
+  for (int i = 0; i < 8; ++i) {
+    a.points.push_back({std::floor(rng.Uniform(0, 6)),
+                        std::floor(rng.Uniform(0, 6)),
+                        std::floor(rng.Uniform(0, 6))});
+    a.payloads.push_back(10 + i);
+    b.points.push_back({std::floor(rng.Uniform(0, 6)),
+                        std::floor(rng.Uniform(0, 6)),
+                        std::floor(rng.Uniform(0, 6))});
+    b.payloads.push_back(20 + i);
+  }
+  std::vector<std::pair<size_t, size_t>> combos(2, {7, 7});
+  const auto merged = MergeFronts(a, b, &combos);
+  ASSERT_EQ(combos.size(), 2 + merged.size());
+  for (size_t p = 0; p < merged.size(); ++p) {
+    EXPECT_EQ(merged.payloads[p], 2 + p);
+    const auto [pi, pj] = combos[merged.payloads[p]];
+    const auto& pa = a.points[pi - 10];
+    const auto& pb = b.points[pj - 20];
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_EQ(merged.points[p][d], pa[d] + pb[d]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatKernelPropertyTest,
+                         ::testing::Values(3, 13, 37, 97, 181, 331));
+
+TEST(FlatMergeTest, EmptyAndSingletonFronts) {
+  ParetoScratch scratch;
+  Front2 empty, single, out;
+  single.Append(2.0, 3.0, 0);
+
+  FlatMerge2(empty, single, &out, &scratch);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(scratch.pairs.empty());
+  FlatMerge2(single, empty, &out, &scratch);
+  EXPECT_TRUE(out.empty());
+
+  Front2 other;
+  other.Append(5.0, 7.0, 0);
+  FlatMerge2(single, other, &out, &scratch);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.x[0], 7.0);
+  EXPECT_EQ(out.y[0], 10.0);
+  EXPECT_EQ(out.payload[0], 0u);
+  ASSERT_EQ(scratch.pairs.size(), 1u);
+  EXPECT_EQ(scratch.pairs[0].i, 0u);
+  EXPECT_EQ(scratch.pairs[0].j, 0u);
+
+  const IndexedFront ia, ib;
+  auto merged = MergeFronts(ia, ib, nullptr);
+  EXPECT_TRUE(merged.empty());
+}
+
+TEST(FlatMergeTest, CrossProductOrderAndAlignedPairs) {
+  // a = {(0,4), (2,0)}, b = {(1,1), (3,0)}; survivors in cross-product
+  // order i*|b|+j: (0,4)+(1,1)=(1,5), (2,0)+(1,1)=(3,1), (2,0)+(3,0)=(5,0).
+  Front2 a, b, out;
+  a.Append(0, 4, 0);
+  a.Append(2, 0, 1);
+  b.Append(1, 1, 0);
+  b.Append(3, 0, 1);
+  ParetoScratch scratch;
+  FlatMerge2(a, b, &out, &scratch);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.x, (std::vector<double>{1, 3, 5}));
+  EXPECT_EQ(out.y, (std::vector<double>{5, 1, 0}));
+  ASSERT_EQ(scratch.pairs.size(), 3u);
+  EXPECT_EQ(scratch.pairs[1].i, 1u);
+  EXPECT_EQ(scratch.pairs[1].j, 0u);
+}
+
+// Chained merges over one combination table: each merge appends its
+// survivors' rows, and payloads keep resolving to the right row.
+TEST(MergeFrontsTest, ChainedMergesShareComboTable) {
+  Rng rng(4242);
+  auto f1 = MakeFront(RandomPoints(&rng, 6, true), /*with_payloads=*/false, 0);
+  auto f2 = MakeFront(RandomPoints(&rng, 7, true), false, 0);
+  auto f3 = MakeFront(RandomPoints(&rng, 5, true), false, 0);
+
+  std::vector<std::pair<size_t, size_t>> table;
+  const auto m12 = MergeFronts(f1, f2, &table);
+  const size_t base = table.size();
+  const auto m123 = MergeFronts(m12, f3, &table);
+  ASSERT_EQ(table.size(), base + m123.size());
+  for (size_t p = 0; p < m123.size(); ++p) {
+    const auto [left, right] = table[m123.payloads[p]];
+    // `left` is an m12 payload — resolve it through the table again.
+    const auto [i1, i2] = table[left];
+    const double x = f1.points[i1][0] + f2.points[i2][0] + f3.points[right][0];
+    const double y = f1.points[i1][1] + f2.points[i2][1] + f3.points[right][1];
+    EXPECT_EQ(m123.points[p][0], x);
+    EXPECT_EQ(m123.points[p][1], y);
+  }
+}
+
+TEST(ParetoInsertTest, RejectsDominatedKeepsDuplicates) {
+  Front2 front;
+  EXPECT_TRUE(ParetoInsert(&front, 2, 2, 0));
+  EXPECT_FALSE(ParetoInsert(&front, 3, 3, 1));  // dominated
+  EXPECT_TRUE(ParetoInsert(&front, 2, 2, 2));   // exact duplicate kept
+  EXPECT_EQ(front.size(), 2u);
+  EXPECT_TRUE(ParetoInsert(&front, 1, 1, 3));   // dominates both
+  EXPECT_EQ(front.size(), 1u);
+  EXPECT_EQ(front.payload[0], 3u);
+}
+
+}  // namespace
+}  // namespace sparkopt
