@@ -111,6 +111,7 @@ std::vector<std::string> VerifierRegistry::names() const {
 
 const VerifierRegistry& VerifierRegistry::BuiltIn() {
   static const VerifierRegistry* kRegistry = [] {
+    // lint:allow(naked-new): leaked singleton — no exit-order race
     auto* r = new VerifierRegistry();
     r->Register(std::make_unique<LogicalPlanVerifier>());
     r->Register(std::make_unique<PhysicalPlanVerifier>());

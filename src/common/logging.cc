@@ -2,10 +2,18 @@
 
 #include <atomic>
 
+#include "common/thread_safety.h"
+
 namespace sparkopt {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+// Serializes emission: glibc happens to lock the FILE per fprintf call,
+// but that is an implementation detail — worker threads logging from the
+// solver fan-out deserve a contract, and the annotated mutex gives the
+// static analysis one.
+Mutex g_emit_mu;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -33,7 +41,9 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (static_cast<int>(level_) >=
       static_cast<int>(g_level.load(std::memory_order_relaxed))) {
-    std::fprintf(stderr, "%s\n", ss_.str().c_str());
+    const std::string line = ss_.str();
+    MutexLock lock(g_emit_mu);
+    std::fprintf(stderr, "%s\n", line.c_str());
   }
 }
 

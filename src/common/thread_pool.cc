@@ -26,19 +26,19 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -46,8 +46,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Explicit predicate loop (not a wait-lambda) so the thread-safety
+      // analysis sees the guarded reads under the lock.
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
@@ -69,16 +71,22 @@ void ThreadPool::ParallelFor(size_t n,
   struct ForState {
     std::atomic<size_t> next{0};
     std::atomic<bool> failed{false};
-    std::exception_ptr error;
-    std::mutex error_mu;
-    std::mutex done_mu;
-    std::condition_variable done_cv;
-    size_t pending_tasks;
+    Mutex error_mu;
+    std::exception_ptr error SPARKOPT_GUARDED_BY(error_mu);
+    Mutex done_mu;
+    CondVar done_cv;
+    size_t pending_tasks SPARKOPT_GUARDED_BY(done_mu) = 0;
   };
   auto state = std::make_shared<ForState>();
 
   const size_t tasks = std::min(n, workers_.size() + 1);
-  state->pending_tasks = tasks;
+  {
+    // Written under the lock so the static analysis can prove the
+    // decrements in task bodies race-free (publication to the workers
+    // itself happens-before via Enqueue's queue mutex).
+    MutexLock lock(state->done_mu);
+    state->pending_tasks = tasks;
+  }
 
   // The caller waits until every task body has run to completion, so the
   // by-reference capture of `fn` cannot dangle.
@@ -89,14 +97,14 @@ void ThreadPool::ParallelFor(size_t n,
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(state->error_mu);
+        MutexLock lock(state->error_mu);
         if (!state->failed.exchange(true, std::memory_order_relaxed)) {
           state->error = std::current_exception();
         }
       }
     }
-    std::lock_guard<std::mutex> lock(state->done_mu);
-    if (--state->pending_tasks == 0) state->done_cv.notify_all();
+    MutexLock lock(state->done_mu);
+    if (--state->pending_tasks == 0) state->done_cv.NotifyAll();
   };
 
   // One fewer queued task than workers when the caller participates:
@@ -106,10 +114,14 @@ void ThreadPool::ParallelFor(size_t n,
   body();
 
   {
-    std::unique_lock<std::mutex> lock(state->done_mu);
-    state->done_cv.wait(lock, [&] { return state->pending_tasks == 0; });
+    MutexLock lock(state->done_mu);
+    while (state->pending_tasks != 0) state->done_cv.Wait(state->done_mu);
   }
   if (state->failed.load(std::memory_order_acquire)) {
+    // Uncontended by now (all tasks drained), but the read of `error`
+    // must hold its guard for the analysis — and it documents that the
+    // publication contract is the mutex, not the relaxed flag.
+    MutexLock lock(state->error_mu);
     std::rethrow_exception(state->error);
   }
 }

@@ -1,16 +1,16 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/thread_safety.h"
 
 /// \file thread_pool.h
 /// \brief A small fixed-size worker pool for the solver hot paths.
@@ -81,14 +81,14 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
-  void Enqueue(std::function<void()> task);
-  void WorkerLoop();
+  void Enqueue(std::function<void()> task) SPARKOPT_EXCLUDES(mu_);
+  void WorkerLoop() SPARKOPT_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ SPARKOPT_GUARDED_BY(mu_);
+  bool stop_ SPARKOPT_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sparkopt

@@ -1,0 +1,220 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+/// \file thread_safety.h
+/// \brief Clang Thread Safety Analysis annotations and annotated lock
+/// wrappers. This is the project's *static* concurrency contract: every
+/// mutex in src/ is a `sparkopt::Mutex`/`SharedMutex`, every guarded
+/// field carries `SPARKOPT_GUARDED_BY`, and Clang builds compile with
+/// `-Wthread-safety -Werror=thread-safety-analysis`, so an unannotated
+/// lock-protocol violation is a build break, not a TSan lottery ticket.
+///
+/// Under GCC (which has no thread-safety analysis) the macros expand to
+/// nothing and the wrappers are zero-cost inline forwards to the std
+/// primitives — Release codegen is identical to using std::mutex
+/// directly. The dynamic layer (TSan CI job) stays as the backstop for
+/// what the static analysis cannot see (lock-free code, atomics).
+///
+/// Conventions (see DESIGN.md §11):
+///  - Fields: `T field_ SPARKOPT_GUARDED_BY(mu_);`
+///  - Functions called with a lock held: `SPARKOPT_REQUIRES(mu_)`.
+///  - Functions that must NOT be called with a lock held (they acquire
+///    it themselves): `SPARKOPT_EXCLUDES(mu_)`.
+///  - Prefer the RAII guards (`MutexLock`, `ReaderMutexLock`,
+///    `WriterMutexLock`) over manual Lock/Unlock pairs.
+///  - Condition waits are explicit `while (!pred) cv_.Wait(mu_);` loops,
+///    never predicate lambdas — the analysis cannot see through a
+///    lambda, an explicit loop it checks.
+///  - `SPARKOPT_NO_THREAD_SAFETY_ANALYSIS` is a last resort; every use
+///    needs a comment saying why the analysis is wrong.
+
+// ---- Annotation macros -------------------------------------------------
+
+#if defined(__clang__)
+#define SPARKOPT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SPARKOPT_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names it in
+/// diagnostics).
+#define SPARKOPT_CAPABILITY(x) SPARKOPT_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII guard whose constructor acquires and destructor
+/// releases a capability.
+#define SPARKOPT_SCOPED_CAPABILITY SPARKOPT_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define SPARKOPT_GUARDED_BY(x) SPARKOPT_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define SPARKOPT_PT_GUARDED_BY(x) SPARKOPT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold the capability exclusively / shared.
+#define SPARKOPT_REQUIRES(...) \
+  SPARKOPT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SPARKOPT_REQUIRES_SHARED(...) \
+  SPARKOPT_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires / releases the capability (exclusive or shared).
+#define SPARKOPT_ACQUIRE(...) \
+  SPARKOPT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SPARKOPT_ACQUIRE_SHARED(...) \
+  SPARKOPT_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define SPARKOPT_RELEASE(...) \
+  SPARKOPT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SPARKOPT_RELEASE_SHARED(...) \
+  SPARKOPT_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function tries to acquire; first argument is the success return value.
+#define SPARKOPT_TRY_ACQUIRE(...) \
+  SPARKOPT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define SPARKOPT_TRY_ACQUIRE_SHARED(...) \
+  SPARKOPT_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (function acquires it itself;
+/// catches self-deadlock at compile time).
+#define SPARKOPT_EXCLUDES(...) \
+  SPARKOPT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define SPARKOPT_RETURN_CAPABILITY(x) \
+  SPARKOPT_THREAD_ANNOTATION(lock_returned(x))
+
+/// Assert-at-runtime escape hatch: tells the analysis the capability is
+/// held without acquiring it.
+#define SPARKOPT_ASSERT_CAPABILITY(x) \
+  SPARKOPT_THREAD_ANNOTATION(assert_capability(x))
+
+/// Disables the analysis for one function. Last resort; comment why.
+#define SPARKOPT_NO_THREAD_SAFETY_ANALYSIS \
+  SPARKOPT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace sparkopt {
+
+class CondVar;
+
+// ---- Annotated lock wrappers -------------------------------------------
+
+/// \brief `std::mutex` with capability annotations.
+class SPARKOPT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SPARKOPT_ACQUIRE() { mu_.lock(); }
+  void Unlock() SPARKOPT_RELEASE() { mu_.unlock(); }
+  bool TryLock() SPARKOPT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief RAII exclusive guard over a `Mutex`.
+class SPARKOPT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SPARKOPT_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() SPARKOPT_RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// \brief `std::condition_variable` bound to `sparkopt::Mutex`.
+///
+/// Wait() releases and reacquires the underlying std::mutex through an
+/// adopting `unique_lock`, so it keeps std::condition_variable's native
+/// (futex) wait path — no condition_variable_any indirection. Callers
+/// hold the Mutex across the call, exactly as with the std API, and wrap
+/// every wait in an explicit `while (!pred)` loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, waits, reacquires `mu` before returning.
+  void Wait(Mutex& mu) SPARKOPT_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's guard
+  }
+
+  /// Timed wait; returns false on timeout (the lock is reacquired either
+  /// way).
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      SPARKOPT_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status st = cv_.wait_for(lock, timeout);
+    lock.release();
+    return st == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// \brief `std::shared_mutex` with capability annotations
+/// (reader-writer; the metrics registry's find-or-create pattern).
+class SPARKOPT_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() SPARKOPT_ACQUIRE() { mu_.lock(); }
+  void Unlock() SPARKOPT_RELEASE() { mu_.unlock(); }
+  bool TryLock() SPARKOPT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void ReaderLock() SPARKOPT_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() SPARKOPT_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool ReaderTryLock() SPARKOPT_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// \brief RAII exclusive (writer) guard over a `SharedMutex`.
+class SPARKOPT_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) SPARKOPT_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() SPARKOPT_RELEASE() { mu_.Unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// \brief RAII shared (reader) guard over a `SharedMutex`.
+class SPARKOPT_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) SPARKOPT_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.ReaderLock();
+  }
+  ~ReaderMutexLock() SPARKOPT_RELEASE() { mu_.ReaderUnlock(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace sparkopt

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <mutex>
 
 namespace sparkopt {
 namespace obs {
@@ -79,11 +78,11 @@ std::vector<uint64_t> Histogram::BucketCounts() const {
 
 Counter& MetricsRegistry::counter(std::string_view name) {
   {
-    std::shared_lock lock(mu_);
+    ReaderMutexLock lock(mu_);
     auto it = counters_.find(name);
     if (it != counters_.end()) return *it->second;
   }
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   auto& slot = counters_[std::string(name)];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
@@ -91,11 +90,11 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
   {
-    std::shared_lock lock(mu_);
+    ReaderMutexLock lock(mu_);
     auto it = gauges_.find(name);
     if (it != gauges_.end()) return *it->second;
   }
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   auto& slot = gauges_[std::string(name)];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
@@ -103,31 +102,31 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
   {
-    std::shared_lock lock(mu_);
+    ReaderMutexLock lock(mu_);
     auto it = histograms_.find(name);
     if (it != histograms_.end()) return *it->second;
   }
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   auto& slot = histograms_[std::string(name)];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = counters_.find(name);
   return it != counters_.end() ? it->second.get() : nullptr;
 }
 
 const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = gauges_.find(name);
   return it != gauges_.end() ? it->second.get() : nullptr;
 }
 
 const Histogram* MetricsRegistry::FindHistogram(
     std::string_view name) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = histograms_.find(name);
   return it != histograms_.end() ? it->second.get() : nullptr;
 }
@@ -156,7 +155,7 @@ double MetricsRegistry::GaugeValue(std::string_view name) const {
 }
 
 Json MetricsRegistry::ToJsonValue() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   JsonObject counters;
   for (const auto& [name, c] : counters_) {
     counters.emplace_back(name, Json(c->value()));

@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/thread_safety.h"
 #include "obs/json.h"
 
 /// \file metrics.h
@@ -125,10 +125,13 @@ class MetricsRegistry {
   std::string ToJson(int indent = 0) const { return ToJsonValue().Dump(indent); }
 
  private:
-  mutable std::shared_mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable SharedMutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      SPARKOPT_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      SPARKOPT_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      SPARKOPT_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

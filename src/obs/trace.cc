@@ -29,17 +29,17 @@ int& ThreadDepth() {
 // ---- Trace -------------------------------------------------------------
 
 void Trace::Add(TraceEvent ev) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.push_back(std::move(ev));
 }
 
 std::vector<TraceEvent> Trace::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_;
 }
 
 size_t Trace::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_.size();
 }
 

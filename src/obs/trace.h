@@ -3,12 +3,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/thread_safety.h"
 #include "obs/metrics.h"
 
 /// \file trace.h
@@ -68,8 +68,8 @@ class Trace {
   bool WriteChromeJson(const std::string& path) const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ SPARKOPT_GUARDED_BY(mu_);
 };
 
 /// \brief The active observability sink: a metrics registry + a trace.

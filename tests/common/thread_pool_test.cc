@@ -136,14 +136,14 @@ TEST(ThreadPoolTest, ConcurrentSubmitFromManyThreads) {
   ThreadPool pool(4);
   static constexpr int kPer = 50;
   std::vector<std::future<int>> futures;
-  std::mutex mu;
+  Mutex mu;
   // Hammer Submit from several external threads at once.
   std::vector<std::thread> producers;
   for (int t = 0; t < 4; ++t) {
     producers.emplace_back([&, t] {
       for (int i = 0; i < kPer; ++i) {
         auto f = pool.Submit([t, i] { return t * kPer + i; });
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         futures.push_back(std::move(f));
       }
     });

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Perf-trajectory snapshot: runs the solver benches in fast mode and
+# collects their RESULT-line JSON into one file, so every PR can commit a
+# BENCH_<tag>.json at the repo root and the next re-anchor can diff
+# solve times instead of guessing.
+#
+# Usage: tools/bench_snapshot.sh [build_dir] [out_file]
+#   build_dir  defaults to build       (needs a Release build of bench/)
+#   out_file   defaults to BENCH_snapshot.json
+#
+# Output shape: {"<result name>": [record, ...], ...} — one key per
+# RESULT line name (hmooc_solve, dag_aggregation, pareto_merge), records
+# in emission order.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_snapshot.json}
+
+if [[ ! -x "${BUILD_DIR}/bench/bench_hmooc_solver" ]]; then
+  echo "bench_snapshot: ${BUILD_DIR}/bench/ not built (cmake --build ${BUILD_DIR} -j)" >&2
+  exit 1
+fi
+
+tmp=$(mktemp)
+trap 'rm -f "${tmp}"' EXIT
+
+# --benchmark_filter='^$' skips the google-benchmark timing loops: only
+# the directly measured RESULT emitters run, which keeps the snapshot
+# fast and its records comparable across machines of one CI pool.
+SPARKOPT_BENCH_FAST=1 "${BUILD_DIR}/bench/bench_hmooc_solver" \
+  --benchmark_filter='^$' | grep '^RESULT ' >> "${tmp}"
+SPARKOPT_BENCH_FAST=1 "${BUILD_DIR}/bench/bench_dag_aggregation" \
+  | grep '^RESULT ' >> "${tmp}"
+SPARKOPT_BENCH_FAST=1 "${BUILD_DIR}/bench/bench_pareto_ops" \
+  --benchmark_filter='^$' | grep '^RESULT ' >> "${tmp}"
+
+python3 - "${tmp}" "${OUT}" <<'EOF'
+import json
+import sys
+
+records = {}
+with open(sys.argv[1], encoding="utf-8") as f:
+    for line in f:
+        _, name, payload = line.split(" ", 2)
+        records.setdefault(name, []).append(json.loads(payload))
+with open(sys.argv[2], "w", encoding="utf-8") as f:
+    json.dump(records, f, indent=1)
+    f.write("\n")
+print(f"bench_snapshot: wrote {sum(map(len, records.values()))} records "
+      f"({', '.join(records)}) to {sys.argv[2]}")
+EOF

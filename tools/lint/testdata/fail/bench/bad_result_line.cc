@@ -1,0 +1,7 @@
+// Fixture: hand-rolled RESULT line instead of benchutil::EmitJson.
+#include <cstdio>
+
+int main() {
+  std::printf("RESULT my_bench {\"ns\": 12}\n");  // line 5: bench-result
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Fixture: every std sync primitive the raw-mutex rule must catch.
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+namespace fixture {
+
+std::mutex g_mu;                 // line 8: raw-mutex
+std::shared_mutex g_rw;          // line 9: raw-mutex
+std::condition_variable g_cv;    // line 10: raw-mutex
+
+void Locker() {
+  std::lock_guard<std::mutex> lock(g_mu);  // line 13: raw-mutex
+}
+
+}  // namespace fixture

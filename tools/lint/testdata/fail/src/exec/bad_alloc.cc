@@ -1,0 +1,19 @@
+// Fixture: naked allocation the naked-new rule must catch.
+#include <cstdlib>
+
+namespace fixture {
+
+struct Node {
+  int v = 0;
+};
+
+Node* MakeNode() {
+  return new Node();  // line 11: naked-new
+}
+
+void* MakeBuffer(unsigned n) {
+  void* p = malloc(n);  // line 15: naked-new
+  return p;
+}
+
+}  // namespace fixture

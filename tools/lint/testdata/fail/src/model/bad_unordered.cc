@@ -1,0 +1,27 @@
+// Fixture: iteration over unordered containers in a result path.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+std::unordered_map<std::string, double> g_weights;
+
+double SumWeights() {
+  double sum = 0.0;
+  for (const auto& kv : g_weights) {  // line 13: unordered-iter
+    sum += kv.second;
+  }
+  return sum;
+}
+
+std::vector<int> CollectIds(const std::unordered_set<int>& ids) {
+  std::vector<int> out;
+  for (auto it = ids.begin(); it != ids.end(); ++it) {  // line 21: unordered-iter
+    out.push_back(*it);
+  }
+  return out;
+}
+
+}  // namespace fixture

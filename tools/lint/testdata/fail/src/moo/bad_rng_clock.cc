@@ -1,0 +1,22 @@
+// Fixture: unseeded RNG and wall-clock reads in a result path.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+double NoisyObjective() {
+  std::random_device rd;                       // line 10: unseeded-rng
+  std::mt19937 gen(rd());                      // line 11: unseeded-rng
+  return static_cast<double>(rand());          // line 12: unseeded-rng
+}
+
+double WallClockCost() {
+  auto now = std::chrono::system_clock::now();  // line 16: wall-clock
+  std::time_t t = time(nullptr);                // line 17: wall-clock
+  return static_cast<double>(t) +
+         std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+}  // namespace fixture

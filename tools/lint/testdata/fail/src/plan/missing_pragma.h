@@ -1,0 +1,10 @@
+// Fixture: header without #pragma once (pragma-once rule, reported at
+// line 1).
+#ifndef FIXTURE_MISSING_PRAGMA_H_
+#define FIXTURE_MISSING_PRAGMA_H_
+
+namespace fixture {
+struct Empty {};
+}  // namespace fixture
+
+#endif  // FIXTURE_MISSING_PRAGMA_H_

@@ -1,0 +1,9 @@
+// Fixture: RESULT lines through benchutil::EmitJson are the sanctioned
+// emitter; a RESULT mention in prose (no string literal) is fine too.
+#include "bench_util.h"
+
+int main() {
+  sparkopt::obs::Json payload;
+  sparkopt::benchutil::EmitJson("my_bench", payload);
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Fixture: the lint:allow escape hatch — preceding-line and same-line
+// forms both suppress naked-new. Words like "new" in comments (a brand
+// new arena) or strings must not fire either.
+#include <cstdlib>
+
+namespace fixture {
+
+struct Arena {
+  char* base = nullptr;
+
+  void Reserve(unsigned n) {
+    // lint:allow(naked-new): arena backing store, released in Drop().
+    base = static_cast<char*>(malloc(n));
+  }
+
+  void Drop() {
+    free(base);  // lint:allow(naked-new): paired with Reserve's malloc
+    base = nullptr;
+  }
+};
+
+const char* Describe() { return "allocates a new arena block"; }
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Fixture: unordered containers are fine for point lookups; only
+// iteration is order-dependent. Ordered iteration goes through std::map
+// or a sorted vector.
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::unordered_map<std::string, double> g_cache;
+
+double Lookup(const std::string& key) {
+  auto it = g_cache.find(key);  // point lookup: order never observed
+  return it != g_cache.end() ? it->second : 0.0;
+}
+
+double SumOrdered(const std::map<std::string, double>& weights) {
+  double sum = 0.0;
+  for (const auto& kv : weights) sum += kv.second;
+  return sum;
+}
+
+std::vector<std::string> SortedKeys() {
+  std::vector<std::string> keys;
+  keys.reserve(g_cache.size());
+  // lint:allow(unordered-iter): keys are sorted immediately below
+  for (const auto& kv : g_cache) keys.push_back(kv.first);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace fixture

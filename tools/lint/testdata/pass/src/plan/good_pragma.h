@@ -1,0 +1,7 @@
+#pragma once
+
+// Fixture: header with #pragma once; pragma-once must stay quiet.
+
+namespace fixture {
+struct Empty {};
+}  // namespace fixture
