@@ -131,7 +131,7 @@ void RunBenchmarkSet(const char* name, const std::vector<Query>& queries,
 }  // namespace
 
 int main(int argc, char** argv) {
-  TraceExport trace(argc, argv);
+  TraceExport trace(&argc, argv);
   std::printf(
       "==== Table 4: latency reduction with a strong speed preference "
       "(0.9, 0.1) ====\n\n");

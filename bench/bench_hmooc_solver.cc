@@ -145,8 +145,12 @@ void EmitSolveResults() {
     bool cache;
   };
   const int hw = ThreadPool(0).parallelism();
-  for (const Config& cfg : {Config{1, false}, Config{1, true},
-                            Config{hw, true}}) {
+  // On single-core runners hw == 1 and the multi-thread config would
+  // duplicate the {1, cache} row byte-for-byte, which then skews the
+  // snapshot aggregation (tools/bench_snapshot.sh). Skip it there.
+  std::vector<Config> configs{Config{1, false}, Config{1, true}};
+  if (hw != 1) configs.push_back(Config{hw, true});
+  for (const Config& cfg : configs) {
     AnalyticSubQModel model(&q, cluster, cost);
     model.evaluator().set_eval_cache_enabled(cfg.cache);
     HmoocOptions ho;
@@ -154,13 +158,19 @@ void EmitSolveResults() {
     ho.num_threads = cfg.threads;
     HmoocSolver solver(&model, ho);
     double best_s = 1e300;
-    size_t evals = 0;
+    size_t evals = 0, evals_total = 0;
     for (int rep = 0; rep < reps; ++rep) {
       benchutil::Timer timer;
       const auto r = solver.Solve();
       best_s = std::min(best_s, timer.Seconds());
       evals = r.evaluations;
+      evals_total += r.evaluations;
     }
+    // cache_hits / cache_probes accumulate across reps (the evaluator
+    // persists); probe_len_avg normalises probes by total Evaluate calls
+    // so the threads=1 cache anomaly (probe cost > hit win at 5.7% hit
+    // rate, see DESIGN.md §12) is visible straight from the RESULT line.
+    const uint64_t probes = model.evaluator().eval_cache_probes();
     obs::JsonObject o;
     o.emplace_back("query", obs::Json("tpch_q9"));
     o.emplace_back("threads", obs::Json(cfg.threads));
@@ -170,6 +180,13 @@ void EmitSolveResults() {
     o.emplace_back(
         "cache_hits",
         obs::Json(model.evaluator().eval_cache_hits()));
+    o.emplace_back("cache_probes", obs::Json(probes));
+    o.emplace_back(
+        "probe_len_avg",
+        obs::Json(evals_total > 0
+                      ? static_cast<double>(probes) /
+                            static_cast<double>(evals_total)
+                      : 0.0));
     benchutil::EmitJson("hmooc_solve", obs::Json(std::move(o)));
   }
 }
@@ -178,6 +195,9 @@ void EmitSolveResults() {
 }  // namespace sparkopt
 
 int main(int argc, char** argv) {
+  // Consumes --trace-out/--profile-out/--metrics-out (and their env
+  // twins) before google-benchmark sees — and would reject — them.
+  sparkopt::benchutil::TraceExport trace(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -10,15 +10,18 @@
 #include "common/pareto.h"
 #include "moo/problem.h"
 #include "obs/json.h"
+#include "obs/openmetrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 /// \file bench_util.h
 /// \brief Shared helpers for the experiment harnesses: fixed-width table
 /// printing, hypervolume against a shared per-query reference point, a
 /// FAST-mode switch (SPARKOPT_BENCH_FAST=1) that shrinks workloads for
-/// smoke runs, and the observability opt-in (--trace-out=<path> /
-/// SPARKOPT_TRACE_OUT) that installs an obs::Session and exports a
-/// Chrome trace when the harness exits.
+/// smoke runs, and the observability opt-ins (--trace-out, --profile-out,
+/// --metrics-out, or their SPARKOPT_*_OUT env twins) that install an
+/// obs::Session and export the Chrome trace, phase profile, and
+/// OpenMetrics text when the harness exits.
 
 namespace sparkopt {
 namespace benchutil {
@@ -28,32 +31,79 @@ inline bool FastMode() {
   return v != nullptr && v[0] == '1';
 }
 
-/// \brief Harness observability opt-in. When `--trace-out=<path>` appears
-/// on the command line (or SPARKOPT_TRACE_OUT names a path), installs an
-/// obs::Session for the harness lifetime and writes the Chrome trace JSON
-/// there on destruction. Without the opt-in no session is installed, so
-/// instrumented hot paths stay at their one-atomic-load cost.
+/// \brief Harness observability opt-in. Any of
+///   --trace-out=<path>   / SPARKOPT_TRACE_OUT     (Chrome trace JSON)
+///   --profile-out=<path> / SPARKOPT_PROFILE_OUT   (phase-profile JSON)
+///   --metrics-out=<path> / SPARKOPT_METRICS_OUT   (OpenMetrics text)
+/// installs an obs::Session for the harness lifetime and writes the
+/// requested exports on destruction. Without an opt-in no session is
+/// installed, so instrumented hot paths stay at their one-atomic-load
+/// cost.
 class TraceExport {
  public:
-  TraceExport(int argc, char** argv) {
-    static constexpr const char kFlag[] = "--trace-out=";
-    for (int i = 1; i < argc; ++i) {
+  /// Parses and REMOVES the recognized flags from argc/argv, so the
+  /// remaining arguments can be handed to pickier parsers
+  /// (benchmark::Initialize rejects flags it does not know).
+  TraceExport(int* argc, char** argv) {
+    int kept = 1;
+    for (int i = 1; i < *argc; ++i) {
       const std::string arg = argv[i];
-      if (arg.rfind(kFlag, 0) == 0) path_ = arg.substr(sizeof(kFlag) - 1);
+      if (arg.rfind("--trace-out=", 0) == 0) {
+        trace_path_ = arg.substr(12);
+      } else if (arg.rfind("--profile-out=", 0) == 0) {
+        profile_path_ = arg.substr(14);
+      } else if (arg.rfind("--metrics-out=", 0) == 0) {
+        metrics_path_ = arg.substr(14);
+      } else {
+        argv[kept++] = argv[i];
+      }
     }
-    if (path_.empty()) {
-      const char* env = std::getenv("SPARKOPT_TRACE_OUT");
-      if (env != nullptr && env[0] != '\0') path_ = env;
+    *argc = kept;
+    auto env_fallback = [](std::string* path, const char* env_name) {
+      if (!path->empty()) return;
+      const char* env = std::getenv(env_name);
+      if (env != nullptr && env[0] != '\0') *path = env;
+    };
+    env_fallback(&trace_path_, "SPARKOPT_TRACE_OUT");
+    env_fallback(&profile_path_, "SPARKOPT_PROFILE_OUT");
+    env_fallback(&metrics_path_, "SPARKOPT_METRICS_OUT");
+    if (!trace_path_.empty() || !profile_path_.empty() ||
+        !metrics_path_.empty()) {
+      session_ = std::make_unique<obs::Session>();
     }
-    if (!path_.empty()) session_ = std::make_unique<obs::Session>();
   }
   ~TraceExport() {
     if (session_ == nullptr) return;
-    if (session_->trace().WriteChromeJson(path_)) {
-      std::fprintf(stderr, "trace: wrote %zu events to %s\n",
-                   session_->trace().size(), path_.c_str());
-    } else {
-      std::fprintf(stderr, "trace: failed to write %s\n", path_.c_str());
+    if (!trace_path_.empty()) {
+      if (session_->trace().WriteChromeJson(trace_path_)) {
+        std::fprintf(stderr, "trace: wrote %zu events to %s\n",
+                     session_->trace().size(), trace_path_.c_str());
+      } else {
+        std::fprintf(stderr, "trace: failed to write %s\n",
+                     trace_path_.c_str());
+      }
+    }
+    if (!profile_path_.empty()) {
+      const auto profile = obs::PhaseProfile::FromTrace(session_->trace());
+      if (profile.WriteJson(profile_path_)) {
+        std::fprintf(stderr, "profile: wrote %.3f ms over %zu phases to %s\n",
+                     profile.total_us() / 1e3, profile.roots().size(),
+                     profile_path_.c_str());
+      } else {
+        std::fprintf(stderr, "profile: failed to write %s\n",
+                     profile_path_.c_str());
+      }
+    }
+    if (!metrics_path_.empty()) {
+      const std::string body = obs::ToOpenMetricsText(session_->metrics());
+      std::FILE* f = std::fopen(metrics_path_.c_str(), "w");
+      const bool ok = f != nullptr &&
+                      std::fwrite(body.data(), 1, body.size(), f) ==
+                          body.size() &&
+                      std::fclose(f) == 0;
+      std::fprintf(stderr, "metrics: %s %s\n",
+                   ok ? "wrote OpenMetrics to" : "failed to write",
+                   metrics_path_.c_str());
     }
   }
   TraceExport(const TraceExport&) = delete;
@@ -63,7 +113,9 @@ class TraceExport {
   obs::Session* session() { return session_.get(); }
 
  private:
-  std::string path_;
+  std::string trace_path_;
+  std::string profile_path_;
+  std::string metrics_path_;
   std::unique_ptr<obs::Session> session_;
 };
 

@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/trace.h"
+
 namespace sparkopt {
 
 namespace {
@@ -208,6 +210,10 @@ void FlatMerge2(const Front2& a, const Front2& b, Front2* out,
     out->Append(a.x[i] + b.x[j], a.y[i] + b.y[j], out->size());
     scratch->pairs.push_back({i, j});
   }
+  // Merge-size distributions for the profiler (worker-thread safe; one
+  // relaxed load each when no session is installed).
+  obs::Observe("pareto.merge_in_points", static_cast<double>(an + bn));
+  obs::Observe("pareto.merge_out_points", static_cast<double>(out->size()));
 }
 
 double FlatHypervolume2(const double* x, const double* y, size_t n,

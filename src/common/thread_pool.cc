@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+
+#include "obs/trace.h"
 
 namespace sparkopt {
 
@@ -34,10 +37,29 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
+  // Queue instrumentation costs one relaxed load when no session is
+  // installed. With a session, each task is wrapped to record its
+  // enqueue->dequeue wait; the session must stay alive until the pool's
+  // queue drains (the documented session lifetime contract — both
+  // ParallelFor and Submit callers block on their tasks).
+  if (obs::Session* s = obs::Session::Current()) {
+    s->metrics().counter("threadpool.tasks").Add(1);
+    obs::Histogram* wait = &s->metrics().histogram("threadpool.queue_wait_us");
+    const auto enqueued_at = std::chrono::steady_clock::now();
+    task = [inner = std::move(task), wait, enqueued_at] {
+      wait->Observe(std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - enqueued_at)
+                        .count());
+      inner();
+    };
+  }
+  size_t depth;
   {
     MutexLock lock(mu_);
     queue_.push(std::move(task));
+    depth = queue_.size();
   }
+  obs::Observe("threadpool.queue_depth", static_cast<double>(depth));
   cv_.NotifyOne();
 }
 
@@ -62,9 +84,11 @@ void ThreadPool::ParallelFor(size_t n,
                              const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1 || t_in_worker) {
+    obs::Count("threadpool.inline_fors");
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  obs::Count("threadpool.parallel_fors");
 
   // Shared state for one ParallelFor invocation. Tasks claim indices
   // from `next`; the last task to finish signals `done_cv`.
@@ -91,9 +115,15 @@ void ThreadPool::ParallelFor(size_t n,
   // The caller waits until every task body has run to completion, so the
   // by-reference capture of `fn` cannot dangle.
   auto body = [state, n, &fn] {
+    // Iterations claimed by this task, flushed as one counter update at
+    // the end (per-iteration metric calls would put a registry lookup
+    // inside the claiming loop). worker_iters vs caller_iters shows how
+    // much work the pool pulled off the calling thread.
+    uint64_t claimed = 0;
     size_t i;
     while ((i = state->next.fetch_add(1, std::memory_order_relaxed)) < n) {
       if (state->failed.load(std::memory_order_relaxed)) continue;
+      ++claimed;
       try {
         fn(i);
       } catch (...) {
@@ -102,6 +132,11 @@ void ThreadPool::ParallelFor(size_t n,
           state->error = std::current_exception();
         }
       }
+    }
+    if (claimed > 0) {
+      obs::Count(t_in_worker ? "threadpool.worker_iters"
+                             : "threadpool.caller_iters",
+                 claimed);
     }
     MutexLock lock(state->done_mu);
     if (--state->pending_tasks == 0) state->done_cv.NotifyAll();

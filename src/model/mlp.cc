@@ -8,6 +8,7 @@
 #endif
 
 #include "common/rng.h"
+#include "obs/trace.h"
 
 namespace sparkopt {
 
@@ -529,6 +530,11 @@ std::vector<double> Regressor::Predict(const std::vector<double>& x) const {
 void Regressor::PredictBatchInto(const double* x, size_t rows, double* out,
                                  Mlp::BatchScratch* scratch) const {
   if (rows == 0) return;
+  // Rows-per-batch distribution: the AVX2 kernel hits peak throughput
+  // only at batch >= 64, so this histogram shows whether callers
+  // amortize the batched path or degenerate to per-row calls
+  // (worker-thread safe; one relaxed load when no session).
+  obs::Observe("model.batch_rows", static_cast<double>(rows));
   const size_t d = mlp_.input_dim();
   // One standardize pass over the whole batch, staged in scratch so the
   // caller's inputs stay untouched.

@@ -75,18 +75,24 @@ EvalCache::EvalCache(size_t capacity) {
   mask_ = cap - 1;
 }
 
-bool EvalCache::Lookup(uint64_t key, SubQObjectives* out) const {
+bool EvalCache::Lookup(uint64_t key, SubQObjectives* out,
+                       int* probes) const {
   if (key <= kBusy) key ^= 0x9E3779B97F4A7C15ULL;
   for (int d = 0; d < kMaxProbe; ++d) {
     const Slot& slot = slots_[(key + d) & mask_];
     const uint64_t tag = slot.tag.load(std::memory_order_acquire);
     if (tag == key) {
       *out = slot.value;
+      if (probes != nullptr) *probes = d + 1;
       return true;
     }
-    if (tag == kEmpty) return false;
+    if (tag == kEmpty) {
+      if (probes != nullptr) *probes = d + 1;
+      return false;
+    }
     // kBusy or a different key: keep probing.
   }
+  if (probes != nullptr) *probes = kMaxProbe;
   return false;
 }
 
@@ -292,7 +298,12 @@ SubQObjectives SubQEvaluator::Evaluate(
     key = EvalKey(subq_id, theta_c, theta_p, theta_s, source,
                   completed_subqs);
     SubQObjectives cached;
-    if (cache_.Lookup(key, &cached)) {
+    int probes = 0;
+    const bool hit = cache_.Lookup(key, &cached, &probes);
+    cache_probes_.fetch_add(static_cast<uint64_t>(probes),
+                            std::memory_order_relaxed);
+    obs::Observe("model.eval_cache_probe_len", probes);
+    if (hit) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
       obs::Count("model.eval_cache_hits");
       return cached;

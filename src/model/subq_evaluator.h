@@ -49,8 +49,10 @@ class EvalCache {
   /// `capacity` is rounded up to a power of two (minimum 1024 slots).
   explicit EvalCache(size_t capacity = 1 << 16);
 
-  /// True (and `*out` filled) when `key` is present.
-  bool Lookup(uint64_t key, SubQObjectives* out) const;
+  /// True (and `*out` filled) when `key` is present. `probes`, when
+  /// non-null, receives the number of slots inspected (>= 1) — the
+  /// open-addressing probe length the profiler uses to price lookups.
+  bool Lookup(uint64_t key, SubQObjectives* out, int* probes = nullptr) const;
   /// Inserts unless the probe window is exhausted (then a no-op).
   void Insert(uint64_t key, const SubQObjectives& value);
   /// Empties the table. Not thread-safe against concurrent access.
@@ -131,6 +133,15 @@ class SubQEvaluator {
   uint64_t eval_cache_misses() const {
     return cache_misses_.load(std::memory_order_relaxed);
   }
+  /// Total slots probed across all lookups (hit or miss). Divided by
+  /// hits+misses this is the mean probe length; multiplied by a measured
+  /// ns/probe it bounds the cache's lookup overhead — the quantity that
+  /// explains the threads=1 cache-on regression in BENCH_pr6.json (see
+  /// DESIGN.md section 12). Also observed per-lookup into the
+  /// "model.eval_cache_probe_len" histogram when a session is installed.
+  uint64_t eval_cache_probes() const {
+    return cache_probes_.load(std::memory_order_relaxed);
+  }
 
  private:
   const Query* query_;
@@ -142,6 +153,7 @@ class SubQEvaluator {
   mutable EvalCache cache_;
   mutable std::atomic<uint64_t> cache_hits_{0};
   mutable std::atomic<uint64_t> cache_misses_{0};
+  mutable std::atomic<uint64_t> cache_probes_{0};
 };
 
 }  // namespace sparkopt

@@ -354,6 +354,8 @@ MooRunResult HmoocSolver::Solve() const {
         confs.reserve(pool.size());
         for (const auto& ps : pool) confs.push_back(MakeConf(rep_c, ps));
         std::vector<ObjectiveVector> fs;
+        obs::Observe("hmooc.subq_batch_rows",
+                     static_cast<double>(confs.size()));
         model_->EvaluateBatch(i, confs, &fs);
         for (size_t j : ParetoIndices(fs)) {
           opt_pool[r][i].push_back(static_cast<int>(j));
@@ -381,6 +383,8 @@ MooRunResult HmoocSolver::Solve() const {
             confs.push_back(MakeConf(members[c], pool[j]));
           }
           std::vector<ObjectiveVector> fs;
+          obs::Observe("hmooc.subq_batch_rows",
+                       static_cast<double>(confs.size()));
           model_->EvaluateBatch(i, confs, &fs);
           auto& subq_set = (*eff)[base + c][i];
           // Keep only the member-level Pareto entries (Prop. 5.1).

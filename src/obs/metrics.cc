@@ -154,6 +154,33 @@ double MetricsRegistry::GaugeValue(std::string_view name) const {
   return g != nullptr ? g->value() : 0.0;
 }
 
+std::vector<std::pair<std::string, uint64_t>>
+MetricsRegistry::CounterEntries() const {
+  ReaderMutexLock lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::GaugeEntries()
+    const {
+  ReaderMutexLock lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricsRegistry::HistogramEntries() const {
+  ReaderMutexLock lock(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
+  return out;
+}
+
 Json MetricsRegistry::ToJsonValue() const {
   ReaderMutexLock lock(mu_);
   JsonObject counters;

@@ -119,6 +119,14 @@ class MetricsRegistry {
   uint64_t CounterValue(std::string_view name) const;
   double GaugeValue(std::string_view name) const;
 
+  /// Point-in-time snapshots of every instrument, in sorted name order —
+  /// the iteration surface for exporters (openmetrics.h). Histogram
+  /// pointers stay valid for the registry's lifetime.
+  std::vector<std::pair<std::string, uint64_t>> CounterEntries() const;
+  std::vector<std::pair<std::string, double>> GaugeEntries() const;
+  std::vector<std::pair<std::string, const Histogram*>> HistogramEntries()
+      const;
+
   /// {"counters": {...}, "gauges": {...}, "histograms": {name:
   ///  {count, sum, mean, p50, p95, p99}}}, names sorted.
   Json ToJsonValue() const;

@@ -1,0 +1,99 @@
+#include "obs/openmetrics.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+namespace sparkopt {
+namespace obs {
+
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buf[48];
+  // %.17g round-trips any double; OpenMetrics floats are Go-style
+  // decimals, which this subset satisfies.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+void AppendCounterValue(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string OpenMetricsName(std::string_view name, std::string_view prefix) {
+  std::string out(prefix);
+  for (char c : name) {
+    const bool ok = (std::isalnum(static_cast<unsigned char>(c)) != 0) ||
+                    c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string ToOpenMetricsText(const MetricsRegistry& registry,
+                              std::string_view prefix) {
+  // Registry names are dotted and distinct; the sanitizer is injective
+  // on that namespace (every '.' maps to '_' and no instrument uses
+  // '_'-vs-'.' homographs), so families never collide.
+  std::string out;
+
+  for (const auto& [name, value] : registry.CounterEntries()) {
+    const std::string fam = OpenMetricsName(name, prefix);
+    out += "# TYPE " + fam + " counter\n";
+    out += fam + "_total ";
+    AppendCounterValue(&out, value);
+    out += '\n';
+  }
+
+  for (const auto& [name, value] : registry.GaugeEntries()) {
+    const std::string fam = OpenMetricsName(name, prefix);
+    out += "# TYPE " + fam + " gauge\n";
+    out += fam + ' ';
+    AppendDouble(&out, value);
+    out += '\n';
+  }
+
+  for (const auto& [name, hist] : registry.HistogramEntries()) {
+    const std::string fam = OpenMetricsName(name, prefix);
+    out += "# TYPE " + fam + " histogram\n";
+    // One atomic-free pass over a bucket snapshot; +Inf and _count come
+    // from the snapshot's own sum (not count()) so a concurrently
+    // updated histogram still exposes internally consistent cumulative
+    // counts.
+    const auto buckets = hist->BucketCounts();
+    uint64_t cumulative = 0;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (buckets[i] == 0) continue;  // sparse: skip empty buckets
+      cumulative += buckets[i];
+      if (i == Histogram::kNumBuckets - 1) break;  // folded into +Inf
+      out += fam + "_bucket{le=\"";
+      AppendDouble(&out, Histogram::BucketUpperBound(i));
+      out += "\"} ";
+      AppendCounterValue(&out, cumulative);
+      out += '\n';
+    }
+    out += fam + "_bucket{le=\"+Inf\"} ";
+    AppendCounterValue(&out, cumulative);
+    out += '\n';
+    out += fam + "_sum ";
+    AppendDouble(&out, hist->sum());
+    out += '\n';
+    out += fam + "_count ";
+    AppendCounterValue(&out, cumulative);
+    out += '\n';
+  }
+
+  out += "# EOF\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace sparkopt

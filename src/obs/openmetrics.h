@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+/// \file openmetrics.h
+/// \brief OpenMetrics v1.0 text exposition of a `MetricsRegistry` —
+/// the scrape surface for the tuning daemon the ROADMAP grows toward.
+///
+/// Maps the registry's instruments onto the three matching OpenMetrics
+/// families:
+///  - Counter  -> `counter`:   `<name>_total <value>`
+///  - Gauge    -> `gauge`:     `<name> <value>`
+///  - Histogram-> `histogram`: cumulative `<name>_bucket{le="..."}` lines
+///    (only occupied buckets are materialized — the log-scale layout has
+///    450 fixed buckets, almost all empty — plus the mandatory
+///    `le="+Inf"`), then `<name>_sum` and `<name>_count`.
+///
+/// Instrument names are sanitized to the OpenMetrics charset
+/// ([a-zA-Z0-9_:], no leading digit): the registry's dotted names map
+/// `.` and other invalid characters to `_`, and every family is prefixed
+/// (default `sparkopt_`). Families are emitted in registry (sorted name)
+/// order, each preceded by its `# TYPE` line, and the exposition ends
+/// with the mandatory `# EOF`. Values are printed with enough precision
+/// (%.17g) to round-trip doubles exactly.
+
+namespace sparkopt {
+namespace obs {
+
+/// Sanitizes one metric name for OpenMetrics (prefix + charset mapping).
+std::string OpenMetricsName(std::string_view name,
+                            std::string_view prefix = "sparkopt_");
+
+/// Renders the whole registry as an OpenMetrics v1.0 exposition,
+/// terminated by `# EOF\n`.
+std::string ToOpenMetricsText(const MetricsRegistry& registry,
+                              std::string_view prefix = "sparkopt_");
+
+}  // namespace obs
+}  // namespace sparkopt

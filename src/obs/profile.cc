@@ -1,0 +1,193 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sparkopt {
+namespace obs {
+
+namespace {
+
+/// Mutable aggregation node; flattened into ProfileNode once built.
+/// (ProfileNode stores children by value, which is fine for the final
+/// immutable tree but would invalidate parent pointers while growing.)
+struct BuildNode {
+  std::string name;
+  uint64_t count = 0;
+  double inclusive_us = 0.0;
+  std::vector<std::unique_ptr<BuildNode>> children;
+
+  BuildNode* ChildOrCreate(const std::string& child_name) {
+    for (auto& c : children) {
+      if (c->name == child_name) return c.get();
+    }
+    children.push_back(std::make_unique<BuildNode>());
+    children.back()->name = child_name;
+    return children.back().get();
+  }
+};
+
+/// Converts a BuildNode subtree, computing exclusive times. Exclusive is
+/// clamped at zero: on a single recording thread spans nest properly and
+/// children cannot overlap, but clock jitter can make a child read a
+/// hair longer than its parent.
+ProfileNode Finalize(const BuildNode& b) {
+  ProfileNode n;
+  n.name = b.name;
+  n.count = b.count;
+  n.inclusive_us = b.inclusive_us;
+  double child_us = 0.0;
+  n.children.reserve(b.children.size());
+  for (const auto& c : b.children) {
+    child_us += c->inclusive_us;
+    n.children.push_back(Finalize(*c));
+  }
+  n.exclusive_us = std::max(0.0, b.inclusive_us - child_us);
+  return n;
+}
+
+void RenderText(const ProfileNode& n, int depth, double total_us,
+                std::string* out) {
+  char buf[256];
+  const std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  const std::string label = indent + n.name;
+  const double pct =
+      total_us > 0.0 ? 100.0 * n.exclusive_us / total_us : 0.0;
+  std::snprintf(buf, sizeof(buf),
+                "  %-38s %8llu %12.3f %12.3f %6.1f%%\n", label.c_str(),
+                static_cast<unsigned long long>(n.count),
+                n.inclusive_us / 1e3, n.exclusive_us / 1e3, pct);
+  *out += buf;
+  for (const auto& c : n.children) {
+    RenderText(c, depth + 1, total_us, out);
+  }
+}
+
+Json NodeToJson(const ProfileNode& n) {
+  JsonObject o;
+  o.emplace_back("name", Json(n.name));
+  o.emplace_back("count", Json(n.count));
+  o.emplace_back("inclusive_us", Json(n.inclusive_us));
+  o.emplace_back("exclusive_us", Json(n.exclusive_us));
+  if (!n.children.empty()) {
+    JsonArray kids;
+    kids.reserve(n.children.size());
+    for (const auto& c : n.children) kids.push_back(NodeToJson(c));
+    o.emplace_back("children", Json(std::move(kids)));
+  }
+  return Json(std::move(o));
+}
+
+}  // namespace
+
+const ProfileNode* ProfileNode::Child(const std::string& child_name) const {
+  for (const auto& c : children) {
+    if (c.name == child_name) return &c;
+  }
+  return nullptr;
+}
+
+PhaseProfile PhaseProfile::FromTrace(const Trace& trace) {
+  return FromEvents(trace.Events());
+}
+
+PhaseProfile PhaseProfile::FromEvents(std::vector<TraceEvent> events) {
+  // Keep complete events only and order them by start time so that a
+  // parent (which starts no later than its children) is visited before
+  // its descendants; ties (identical timestamps) break by nesting depth.
+  events.erase(std::remove_if(events.begin(), events.end(),
+                              [](const TraceEvent& e) {
+                                return e.phase != 'X';
+                              }),
+               events.end());
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.depth < b.depth;
+                   });
+
+  BuildNode forest;  // children act as the root set
+  // Lineage of the event last seen at each depth, per recording thread.
+  // Spans record their depth at construction, so an event at depth d is
+  // a child of the most recent event at depth d-1 (or a root at d == 0).
+  std::vector<BuildNode*> stack;
+  int stack_tid = -1;
+  for (const auto& ev : events) {
+    if (ev.tid != stack_tid) {
+      stack.clear();
+      stack_tid = ev.tid;
+    }
+    // Pop back to the event's depth; an orphaned depth (its parent span
+    // had not ended when the trace was snapshotted) attaches at the
+    // deepest known level instead.
+    const size_t depth = static_cast<size_t>(std::max(ev.depth, 0));
+    stack.resize(std::min(depth, stack.size()));
+    BuildNode* parent = stack.empty() ? &forest : stack.back();
+    BuildNode* node = parent->ChildOrCreate(ev.name);
+    node->count += 1;
+    node->inclusive_us += ev.dur_us;
+    stack.push_back(node);
+  }
+
+  PhaseProfile p;
+  p.roots_.reserve(forest.children.size());
+  for (const auto& r : forest.children) {
+    p.roots_.push_back(Finalize(*r));
+    p.total_us_ += r->inclusive_us;
+  }
+  return p;
+}
+
+const ProfileNode* PhaseProfile::Find(
+    const std::vector<std::string>& path) const {
+  if (path.empty()) return nullptr;
+  const ProfileNode* node = nullptr;
+  const std::vector<ProfileNode>* level = &roots_;
+  for (const auto& name : path) {
+    node = nullptr;
+    for (const auto& cand : *level) {
+      if (cand.name == name) {
+        node = &cand;
+        break;
+      }
+    }
+    if (node == nullptr) return nullptr;
+    level = &node->children;
+  }
+  return node;
+}
+
+std::string PhaseProfile::ToText() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "phase profile (total %.3f ms)\n",
+                total_us_ / 1e3);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  %-38s %8s %12s %12s %7s\n", "phase",
+                "calls", "incl ms", "excl ms", "excl%");
+  out += buf;
+  for (const auto& r : roots_) RenderText(r, 0, total_us_, &out);
+  return out;
+}
+
+Json PhaseProfile::ToJsonValue() const {
+  JsonObject root;
+  root.emplace_back("total_us", Json(total_us_));
+  JsonArray phases;
+  phases.reserve(roots_.size());
+  for (const auto& r : roots_) phases.push_back(NodeToJson(r));
+  root.emplace_back("phases", Json(std::move(phases)));
+  return Json(std::move(root));
+}
+
+bool PhaseProfile::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = ToJson(1);
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  return std::fclose(f) == 0 && written == body.size();
+}
+
+}  // namespace obs
+}  // namespace sparkopt

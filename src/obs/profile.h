@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+/// \file profile.h
+/// \brief Phase profiles: folds the flat `obs::Span` event stream of a
+/// session into an aggregated call tree with inclusive/exclusive times.
+///
+/// A `Trace` records one `TraceEvent` per span; this module groups the
+/// events by call path (the stack of enclosing span names), so repeated
+/// phases — the per-wave AQE re-plans, the per-candidate DAG merges —
+/// collapse into one node each with a call count. Per node it reports
+///  - inclusive time: total time with the phase on the stack,
+///  - exclusive time: inclusive minus the children's inclusive time
+///    (the phase's own cost, which sums to the roots' inclusive time
+///    across the whole tree — nothing is double-counted),
+///  - call count and the child breakdown in first-seen order.
+///
+/// Profiles are built after the fact from a `Trace` snapshot, so the
+/// recording hot path stays exactly what trace.h documents: one relaxed
+/// load when no session is installed, two clock reads plus an event
+/// append when one is. Renderers: an indented text table for humans and
+/// a JSON tree (parseable by obs::Json) for CI artifacts.
+
+namespace sparkopt {
+namespace obs {
+
+/// One aggregated phase: every span with the same call path.
+struct ProfileNode {
+  std::string name;          ///< span name (trace.h `Span(name)`)
+  uint64_t count = 0;        ///< number of spans folded into this node
+  double inclusive_us = 0.0; ///< total time with this phase on the stack
+  double exclusive_us = 0.0; ///< inclusive minus children's inclusive
+  std::vector<ProfileNode> children;  ///< first-seen order
+
+  /// Direct child by name; nullptr when absent.
+  const ProfileNode* Child(const std::string& child_name) const;
+};
+
+/// \brief Aggregated per-session phase profile.
+class PhaseProfile {
+ public:
+  /// Builds a profile from a trace snapshot. Only complete ('X') events
+  /// participate; instant events carry no duration. Events from
+  /// different recording threads aggregate into the same root set (in
+  /// practice spans are main-thread-only, so one thread contributes).
+  static PhaseProfile FromTrace(const Trace& trace);
+  static PhaseProfile FromEvents(std::vector<TraceEvent> events);
+
+  const std::vector<ProfileNode>& roots() const { return roots_; }
+
+  /// Sum of the roots' inclusive time == sum of every node's exclusive
+  /// time (the telescoping identity the renderers print percentages of).
+  double total_us() const { return total_us_; }
+
+  /// Node at the given call path from a root, e.g.
+  /// `Find({"hmooc.solve", "hmooc.dag_merge"})`; nullptr when absent.
+  const ProfileNode* Find(const std::vector<std::string>& path) const;
+
+  /// Indented table: phase, calls, inclusive/exclusive ms, exclusive %.
+  std::string ToText() const;
+
+  /// {"total_us": ..., "phases": [{name, count, inclusive_us,
+  ///  exclusive_us, children: [...]}, ...]}
+  Json ToJsonValue() const;
+  std::string ToJson(int indent = 1) const { return ToJsonValue().Dump(indent); }
+
+  /// Writes ToJson() to `path`; false on IO failure.
+  bool WriteJson(const std::string& path) const;
+
+ private:
+  std::vector<ProfileNode> roots_;
+  double total_us_ = 0.0;
+};
+
+}  // namespace obs
+}  // namespace sparkopt

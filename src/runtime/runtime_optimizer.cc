@@ -131,6 +131,10 @@ void RuntimeOptimizer::OnPlanCollapsed(const LogicalPlan& plan,
   obs::Count("runtime.lqp_sent");
   obs::Span span("runtime.lqp_resolve");
   span.Arg("actionable_subqs", static_cast<double>(actionable.size()));
+  // Per-resolve latency distribution (p50/p99 for the scrape surface;
+  // the span above feeds the phase profile).
+  obs::ScopedHistogramTimer resolve_timer(
+      obs::HistogramFor("runtime.lqp_resolve_us"));
 
   // Fine-grained from here on: expand a single shared theta_p.
   const int m = static_cast<int>(subqs.size());
@@ -207,6 +211,8 @@ void RuntimeOptimizer::OnStagesReady(const PhysicalPlan& plan,
     obs::Count("runtime.qs_sent");
     obs::Span span("runtime.qs_resolve");
     span.Arg("stage", sid);
+    obs::ScopedHistogramTimer resolve_timer(
+        obs::HistogramFor("runtime.qs_resolve_us"));
 
     const int sq_id = std::min(st.subq_id, m - 1);
     // Evaluate theta_s candidates under the theta_p actually in force for

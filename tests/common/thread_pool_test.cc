@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace sparkopt {
 namespace {
 
@@ -153,6 +155,37 @@ TEST(ThreadPoolTest, ConcurrentSubmitFromManyThreads) {
   for (auto& f : futures) sum += f.get();
   const long long n = 4LL * kPer;
   EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST(ThreadPoolTest, InstrumentationRecordsUnderSession) {
+  obs::Session session;
+  ThreadPool pool(3);
+  auto f = pool.Submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(64, [&](size_t i) {
+    sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 64 * 63 / 2);
+  auto& m = session.metrics();
+  EXPECT_GE(m.CounterValue("threadpool.tasks"), 1u);
+  EXPECT_GE(m.CounterValue("threadpool.parallel_fors"), 1u);
+  // Every ParallelFor index is claimed exactly once, by a worker or by
+  // the participating caller.
+  EXPECT_EQ(m.CounterValue("threadpool.worker_iters") +
+                m.CounterValue("threadpool.caller_iters"),
+            64u);
+  EXPECT_GE(m.StatsOf("threadpool.queue_wait_us").count, 1u);
+}
+
+TEST(ThreadPoolTest, InstrumentationCountsInlineFors) {
+  obs::Session session;
+  ThreadPool pool(1);  // inline mode
+  std::atomic<int> n{0};
+  pool.ParallelFor(8, [&](size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 8);
+  EXPECT_GE(session.metrics().CounterValue("threadpool.inline_fors"), 1u);
+  EXPECT_EQ(session.metrics().CounterValue("threadpool.parallel_fors"), 0u);
 }
 
 TEST(ThreadPoolTest, SharedPoolIsSingleton) {

@@ -155,6 +155,26 @@ TEST(SubQEvaluatorTest, EvalCacheHitsOnRepeatAndIsTransparent) {
   EXPECT_EQ(uncached.eval.eval_cache_misses(), 0u);
 }
 
+TEST(SubQEvaluatorTest, EvalCacheProbesExposeLookupCost) {
+  Fixture fx;
+  EXPECT_EQ(fx.eval.eval_cache_probes(), 0u);
+  fx.eval.Evaluate(1, fx.tc, fx.tp, fx.ts, CardinalitySource::kEstimated);
+  // A miss in an empty table still probes at least one slot — the cost
+  // the threads=1 anomaly measures (see DESIGN.md §12).
+  const uint64_t after_miss = fx.eval.eval_cache_probes();
+  EXPECT_GE(after_miss, 1u);
+  fx.eval.Evaluate(1, fx.tc, fx.tp, fx.ts, CardinalitySource::kEstimated);
+  const uint64_t after_hit = fx.eval.eval_cache_probes();
+  EXPECT_GT(after_hit, after_miss);
+
+  // Disabled cache does not probe.
+  Fixture off;
+  off.eval.set_eval_cache_enabled(false);
+  off.eval.Evaluate(1, off.tc, off.tp, off.ts,
+                    CardinalitySource::kEstimated);
+  EXPECT_EQ(off.eval.eval_cache_probes(), 0u);
+}
+
 TEST(SubQEvaluatorTest, EvalCacheKeySeparatesInputs) {
   Fixture fx;
   // Distinct subQ, params, source, and mask must all miss, not collide.

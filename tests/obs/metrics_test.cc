@@ -87,6 +87,57 @@ TEST(HistogramTest, PercentileOnKnownDistribution) {
   EXPECT_EQ(h.count(), 1000u);
 }
 
+TEST(HistogramTest, PercentileOfEmptyHistogramIsZero) {
+  Histogram h;
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_EQ(h.Percentile(q), 0.0) << "quantile " << q;
+  }
+}
+
+TEST(HistogramTest, PercentileOfSingleSampleWithinBound) {
+  const double bound =
+      std::pow(2.0, 1.0 / (2.0 * Histogram::kSubBuckets)) - 1.0;
+  for (double v : {1e-3, 1.0, 777.0, 1e9}) {
+    Histogram h;
+    h.Observe(v);
+    // Every quantile of a one-sample distribution is that sample.
+    for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+      EXPECT_NEAR(h.Percentile(q), v, v * bound)
+          << "value " << v << " quantile " << q;
+    }
+  }
+}
+
+// The bounded-error contract at its worst case: values sitting exactly
+// on a bucket boundary. FP rounding in the index computation may place
+// the sample in either adjacent bucket; the geometric-midpoint estimate
+// stays within 2^(1/(2*kSubBuckets)) - 1 relative error either way.
+TEST(HistogramTest, PercentileAtBucketBoundariesWithinBound) {
+  const double bound =
+      std::pow(2.0, 1.0 / (2.0 * Histogram::kSubBuckets)) - 1.0;
+  for (int i : {1, 2, 7, 8, 9, 63, 64, 200, Histogram::kNumBuckets - 3}) {
+    const double v = Histogram::BucketUpperBound(i);
+    Histogram h;
+    h.Observe(v);
+    const double est = h.Percentile(0.5);
+    EXPECT_NEAR(est, v, v * bound * 1.0000001)
+        << "boundary of bucket " << i << ": estimate " << est;
+  }
+}
+
+TEST(HistogramTest, PercentileAtFirstBoundIsExact) {
+  Histogram h;
+  h.Observe(Histogram::kFirstBound);  // lands in bucket 0
+  EXPECT_EQ(h.Percentile(0.5), Histogram::kFirstBound);
+}
+
+TEST(HistogramTest, PercentileClampsOutOfRangeQuantiles) {
+  Histogram h;
+  h.Observe(5.0);
+  EXPECT_EQ(h.Percentile(-0.5), h.Percentile(0.0));
+  EXPECT_EQ(h.Percentile(1.5), h.Percentile(1.0));
+}
+
 TEST(HistogramTest, TinyAndHugeValuesLandInEdgeBuckets) {
   Histogram h;
   h.Observe(0.0);    // <= kFirstBound -> bucket 0
@@ -156,6 +207,31 @@ TEST(MetricsRegistryTest, ConcurrentUpdates) {
   EXPECT_EQ(reg.CounterValue("shared"), uint64_t{kThreads} * kIters);
   EXPECT_DOUBLE_EQ(reg.GaugeValue("sum"), double{kThreads} * kIters);
   EXPECT_EQ(reg.StatsOf("h").count, uint64_t{kThreads} * kIters);
+}
+
+TEST(MetricsRegistryTest, EntriesSnapshotInSortedOrder) {
+  MetricsRegistry reg;
+  reg.counter("z").Add(1);
+  reg.counter("a").Add(2);
+  reg.gauge("g").Set(-0.5);
+  reg.histogram("h").Observe(3.0);
+
+  const auto counters = reg.CounterEntries();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "a");
+  EXPECT_EQ(counters[0].second, 2u);
+  EXPECT_EQ(counters[1].first, "z");
+
+  const auto gauges = reg.GaugeEntries();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_EQ(gauges[0].second, -0.5);
+
+  const auto hists = reg.HistogramEntries();
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].first, "h");
+  // The pointer aliases the registry's histogram (stable handle).
+  EXPECT_EQ(hists[0].second, reg.FindHistogram("h"));
+  EXPECT_EQ(hists[0].second->count(), 1u);
 }
 
 TEST(MetricsRegistryTest, ToJsonParses) {

@@ -1,0 +1,254 @@
+#include "obs/openmetrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sparkopt {
+namespace obs {
+namespace {
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+TEST(OpenMetricsNameTest, SanitizesCharsetAndPrefixes) {
+  EXPECT_EQ(OpenMetricsName("model.eval_cache_probe_len"),
+            "sparkopt_model_eval_cache_probe_len");
+  EXPECT_EQ(OpenMetricsName("a-b c"), "sparkopt_a_b_c");
+  EXPECT_EQ(OpenMetricsName("ok:colon"), "sparkopt_ok:colon");
+  EXPECT_EQ(OpenMetricsName("x", ""), "x");
+  // Empty prefix + leading digit gets an underscore prepended.
+  EXPECT_EQ(OpenMetricsName("9lives", ""), "_9lives");
+}
+
+// Golden fixture: fully deterministic exposition (the empty histogram
+// avoids machine-dependent bucket-bound formatting).
+TEST(OpenMetricsTest, GoldenText) {
+  MetricsRegistry reg;
+  reg.counter("b.count").Add(2);
+  reg.counter("a.count").Add(41);
+  reg.gauge("pool.depth").Set(2.5);
+  reg.histogram("empty.h");
+  const std::string expected =
+      "# TYPE sparkopt_a_count counter\n"
+      "sparkopt_a_count_total 41\n"
+      "# TYPE sparkopt_b_count counter\n"
+      "sparkopt_b_count_total 2\n"
+      "# TYPE sparkopt_pool_depth gauge\n"
+      "sparkopt_pool_depth 2.5\n"
+      "# TYPE sparkopt_empty_h histogram\n"
+      "sparkopt_empty_h_bucket{le=\"+Inf\"} 0\n"
+      "sparkopt_empty_h_sum 0\n"
+      "sparkopt_empty_h_count 0\n"
+      "# EOF\n";
+  EXPECT_EQ(ToOpenMetricsText(reg), expected);
+}
+
+TEST(OpenMetricsTest, EmptyRegistryIsJustEof) {
+  MetricsRegistry reg;
+  EXPECT_EQ(ToOpenMetricsText(reg), "# EOF\n");
+}
+
+TEST(OpenMetricsTest, HistogramBucketsAreSparseAndCumulative) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat");
+  h.Observe(1.0);
+  h.Observe(1.0);
+  h.Observe(64.0);
+  const auto lines = Lines(ToOpenMetricsText(reg));
+  // 450 fixed buckets, 2 occupied: expect exactly TYPE + 2 buckets +
+  // +Inf + _sum + _count + EOF.
+  ASSERT_EQ(lines.size(), 7u);
+  EXPECT_EQ(lines[0], "# TYPE sparkopt_lat histogram");
+  // The first occupied bucket holds the two 1.0 samples, cumulatively 2;
+  // the second adds the 64.0 sample, cumulatively 3.
+  EXPECT_NE(lines[1].find("_bucket{le=\""), std::string::npos);
+  EXPECT_EQ(lines[1].substr(lines[1].rfind(' ') + 1), "2");
+  EXPECT_EQ(lines[2].substr(lines[2].rfind(' ') + 1), "3");
+  EXPECT_EQ(lines[3], "sparkopt_lat_bucket{le=\"+Inf\"} 3");
+  EXPECT_EQ(lines[4], "sparkopt_lat_sum 66");
+  EXPECT_EQ(lines[5], "sparkopt_lat_count 3");
+  EXPECT_EQ(lines[6], "# EOF");
+}
+
+// Minimal OpenMetrics text-format conformance check: line grammar,
+// name charset, # TYPE before samples, histograms complete (+Inf bucket,
+// non-decreasing cumulative counts, _count == +Inf), single trailing
+// # EOF.
+void CheckConformance(const std::string& text) {
+  ASSERT_FALSE(text.empty());
+  ASSERT_EQ(text.back(), '\n') << "exposition must end with newline";
+  const auto lines = Lines(text);
+  ASSERT_FALSE(lines.empty());
+  ASSERT_EQ(lines.back(), "# EOF");
+
+  auto valid_name = [](const std::string& s) {
+    if (s.empty() || std::isdigit(static_cast<unsigned char>(s[0]))) {
+      return false;
+    }
+    for (char c : s) {
+      if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' &&
+          c != ':') {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::map<std::string, std::string> family_type;
+  std::map<std::string, std::vector<uint64_t>> hist_buckets;
+  std::map<std::string, uint64_t> hist_inf, hist_count;
+  for (size_t i = 0; i + 1 < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    ASSERT_FALSE(line.empty()) << "blank line " << i;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream in(line.substr(7));
+      std::string fam, type;
+      in >> fam >> type;
+      ASSERT_TRUE(valid_name(fam)) << line;
+      ASSERT_TRUE(type == "counter" || type == "gauge" ||
+                  type == "histogram")
+          << line;
+      ASSERT_EQ(family_type.count(fam), 0u) << "duplicate family " << fam;
+      family_type[fam] = type;
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unexpected comment: " << line;
+    // Sample line: name[{labels}] value
+    const size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    std::string name = line.substr(0, sp);
+    const std::string value = line.substr(sp + 1);
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    ASSERT_EQ(*end, '\0') << "unparseable value in: " << line;
+    std::string label;
+    const size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      ASSERT_EQ(name.back(), '}') << line;
+      label = name.substr(brace + 1, name.size() - brace - 2);
+      name = name.substr(0, brace);
+    }
+    // Strip the sample-name suffix to recover the family.
+    std::string fam = name;
+    for (const char* suffix : {"_total", "_bucket", "_sum", "_count"}) {
+      const size_t len = std::string(suffix).size();
+      if (name.size() > len &&
+          name.compare(name.size() - len, len, suffix) == 0) {
+        const std::string cand = name.substr(0, name.size() - len);
+        if (family_type.count(cand) != 0) {
+          fam = cand;
+          break;
+        }
+      }
+    }
+    ASSERT_TRUE(valid_name(name)) << line;
+    ASSERT_EQ(family_type.count(fam), 1u)
+        << "sample before # TYPE: " << line;
+    if (family_type[fam] == "histogram" && name == fam + "_bucket") {
+      ASSERT_EQ(label.rfind("le=\"", 0), 0u) << line;
+      const uint64_t v = std::strtoull(value.c_str(), nullptr, 10);
+      if (label == "le=\"+Inf\"") {
+        hist_inf[fam] = v;
+      } else {
+        hist_buckets[fam].push_back(v);
+      }
+    }
+    if (family_type[fam] == "histogram" && name == fam + "_count") {
+      hist_count[fam] = std::strtoull(value.c_str(), nullptr, 10);
+    }
+  }
+  for (const auto& [fam, type] : family_type) {
+    if (type != "histogram") continue;
+    ASSERT_EQ(hist_inf.count(fam), 1u) << fam << " missing +Inf bucket";
+    ASSERT_EQ(hist_count.count(fam), 1u) << fam << " missing _count";
+    EXPECT_EQ(hist_inf[fam], hist_count[fam]) << fam;
+    uint64_t prev = 0;
+    for (uint64_t v : hist_buckets[fam]) {
+      EXPECT_GE(v, prev) << fam << " buckets not cumulative";
+      prev = v;
+    }
+    EXPECT_GE(hist_inf[fam], prev) << fam;
+  }
+}
+
+TEST(OpenMetricsTest, ConformanceOnPopulatedRegistry) {
+  MetricsRegistry reg;
+  reg.counter("threadpool.tasks").Add(17);
+  reg.counter("model.eval_cache.hit").Add(3418);
+  reg.gauge("threadpool.queue_depth").Set(4.0);
+  reg.gauge("neg").Set(-1.5);
+  Histogram& h = reg.histogram("model.eval_cache_probe_len");
+  for (int i = 0; i < 1000; ++i) h.Observe(static_cast<double>(i % 16));
+  Histogram& wide = reg.histogram("runtime.lqp_resolve_us");
+  wide.Observe(0.0);
+  wide.Observe(1e-9);
+  wide.Observe(3.5);
+  wide.Observe(1e30);  // overflow bucket folds into +Inf
+  CheckConformance(ToOpenMetricsText(reg));
+}
+
+TEST(OpenMetricsTest, RoundTripsEveryRegistryValue) {
+  MetricsRegistry reg;
+  reg.counter("c").Add(123456789012345ull);
+  reg.gauge("g").Set(0.1);  // not exactly representable: %.17g must hold
+  reg.gauge("g2").Set(-2.5e-7);
+  Histogram& h = reg.histogram("h");
+  h.Observe(1.0);
+  h.Observe(2.25);
+  h.Observe(1e6);
+  const auto lines = Lines(ToOpenMetricsText(reg));
+  std::map<std::string, std::string> samples;
+  for (const auto& line : lines) {
+    if (line[0] == '#') continue;
+    const size_t sp = line.rfind(' ');
+    samples[line.substr(0, sp)] = line.substr(sp + 1);
+  }
+  EXPECT_EQ(samples.at("sparkopt_c_total"), "123456789012345");
+  EXPECT_EQ(std::strtod(samples.at("sparkopt_g").c_str(), nullptr), 0.1);
+  EXPECT_EQ(std::strtod(samples.at("sparkopt_g2").c_str(), nullptr),
+            -2.5e-7);
+  EXPECT_EQ(std::strtod(samples.at("sparkopt_h_sum").c_str(), nullptr),
+            h.sum());
+  EXPECT_EQ(samples.at("sparkopt_h_count"), "3");
+  EXPECT_EQ(samples.at("sparkopt_h_bucket{le=\"+Inf\"}"), "3");
+  // Bucket thresholds round-trip to the exact BucketUpperBound doubles.
+  uint64_t matched = 0;
+  for (const auto& [name, value] : samples) {
+    const std::string prefix = "sparkopt_h_bucket{le=\"";
+    if (name.rfind(prefix, 0) != 0 || name.find("+Inf") != std::string::npos) {
+      continue;
+    }
+    const std::string le =
+        name.substr(prefix.size(), name.size() - prefix.size() - 2);
+    const double bound = std::strtod(le.c_str(), nullptr);
+    bool exact = false;
+    for (int i = 0; i < Histogram::kNumBuckets - 1; ++i) {
+      if (Histogram::BucketUpperBound(i) == bound) {
+        exact = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(exact) << "le=" << le << " is not an exact bucket bound";
+    ++matched;
+    (void)value;
+  }
+  EXPECT_EQ(matched, 3u);  // three distinct occupied buckets
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sparkopt

@@ -1,0 +1,219 @@
+#include "obs/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace sparkopt {
+namespace obs {
+namespace {
+
+TraceEvent Ev(const char* name, double ts_us, double dur_us, int depth,
+              int tid = 0) {
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'X';
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.tid = tid;
+  e.depth = depth;
+  return e;
+}
+
+TEST(PhaseProfileTest, EmptyTrace) {
+  const PhaseProfile p = PhaseProfile::FromEvents({});
+  EXPECT_TRUE(p.roots().empty());
+  EXPECT_EQ(p.total_us(), 0.0);
+  EXPECT_EQ(p.Find({"anything"}), nullptr);
+  EXPECT_EQ(p.Find({}), nullptr);
+}
+
+TEST(PhaseProfileTest, AggregatesRepeatedPhasesByCallPath) {
+  // solve [0, 100) with two merge children and one filter child.
+  const PhaseProfile p = PhaseProfile::FromEvents({
+      Ev("solve", 0.0, 100.0, 0),
+      Ev("merge", 10.0, 20.0, 1),
+      Ev("merge", 40.0, 30.0, 1),
+      Ev("filter", 75.0, 15.0, 1),
+  });
+  ASSERT_EQ(p.roots().size(), 1u);
+  const ProfileNode& solve = p.roots()[0];
+  EXPECT_EQ(solve.name, "solve");
+  EXPECT_EQ(solve.count, 1u);
+  EXPECT_DOUBLE_EQ(solve.inclusive_us, 100.0);
+  // Exclusive: 100 - (20 + 30 + 15).
+  EXPECT_DOUBLE_EQ(solve.exclusive_us, 35.0);
+  ASSERT_EQ(solve.children.size(), 2u);  // merge folded, filter separate
+  const ProfileNode* merge = solve.Child("merge");
+  ASSERT_NE(merge, nullptr);
+  EXPECT_EQ(merge->count, 2u);
+  EXPECT_DOUBLE_EQ(merge->inclusive_us, 50.0);
+  EXPECT_DOUBLE_EQ(merge->exclusive_us, 50.0);  // leaves keep inclusive
+  EXPECT_EQ(solve.Child("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(p.total_us(), 100.0);
+}
+
+TEST(PhaseProfileTest, SameNameDifferentPathsStaySeparate) {
+  // "resolve" appears under two different parents: two distinct nodes.
+  const PhaseProfile p = PhaseProfile::FromEvents({
+      Ev("lqp", 0.0, 50.0, 0),
+      Ev("resolve", 5.0, 10.0, 1),
+      Ev("qs", 60.0, 40.0, 0),
+      Ev("resolve", 65.0, 20.0, 1),
+  });
+  const ProfileNode* a = p.Find({"lqp", "resolve"});
+  const ProfileNode* b = p.Find({"qs", "resolve"});
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_DOUBLE_EQ(a->inclusive_us, 10.0);
+  EXPECT_DOUBLE_EQ(b->inclusive_us, 20.0);
+  EXPECT_EQ(p.Find({"lqp", "qs"}), nullptr);
+}
+
+TEST(PhaseProfileTest, ExclusiveTimesTelescopeToRootInclusive) {
+  const PhaseProfile p = PhaseProfile::FromEvents({
+      Ev("a", 0.0, 100.0, 0),
+      Ev("b", 0.0, 60.0, 1),
+      Ev("c", 0.0, 25.0, 2),
+      Ev("d", 30.0, 20.0, 2),
+      Ev("e", 70.0, 30.0, 1),
+      Ev("f", 200.0, 40.0, 0),  // second root
+  });
+  double exclusive_sum = 0.0;
+  std::vector<const ProfileNode*> work;
+  for (const auto& r : p.roots()) work.push_back(&r);
+  while (!work.empty()) {
+    const ProfileNode* n = work.back();
+    work.pop_back();
+    exclusive_sum += n->exclusive_us;
+    for (const auto& c : n->children) work.push_back(&c);
+  }
+  EXPECT_DOUBLE_EQ(exclusive_sum, p.total_us());
+  EXPECT_DOUBLE_EQ(p.total_us(), 140.0);  // 100 + 40
+}
+
+TEST(PhaseProfileTest, ExclusiveClampedWhenChildOverrunsParent) {
+  // Clock jitter: child reads 1us longer than its parent.
+  const PhaseProfile p = PhaseProfile::FromEvents({
+      Ev("parent", 0.0, 10.0, 0),
+      Ev("child", 0.0, 11.0, 1),
+  });
+  const ProfileNode* parent = p.Find({"parent"});
+  ASSERT_NE(parent, nullptr);
+  EXPECT_DOUBLE_EQ(parent->exclusive_us, 0.0);
+}
+
+TEST(PhaseProfileTest, OrphanDepthAttachesAtDeepestKnownLevel) {
+  // A depth-2 event with no depth-1 parent on the stack (its parent span
+  // had not ended at snapshot time) becomes a child of the depth-0 node.
+  const PhaseProfile p = PhaseProfile::FromEvents({
+      Ev("root", 0.0, 100.0, 0),
+      Ev("deep", 10.0, 5.0, 2),
+  });
+  EXPECT_NE(p.Find({"root", "deep"}), nullptr);
+}
+
+TEST(PhaseProfileTest, ThreadsAggregateIntoSharedRootSet) {
+  const PhaseProfile p = PhaseProfile::FromEvents({
+      Ev("solve", 0.0, 10.0, 0, /*tid=*/0),
+      Ev("solve", 0.0, 30.0, 0, /*tid=*/1),
+  });
+  ASSERT_EQ(p.roots().size(), 1u);
+  EXPECT_EQ(p.roots()[0].count, 2u);
+  EXPECT_DOUBLE_EQ(p.roots()[0].inclusive_us, 40.0);
+}
+
+TEST(PhaseProfileTest, InstantEventsIgnored) {
+  TraceEvent instant = Ev("note", 5.0, 0.0, 0);
+  instant.phase = 'i';
+  const PhaseProfile p =
+      PhaseProfile::FromEvents({Ev("solve", 0.0, 10.0, 0), instant});
+  ASSERT_EQ(p.roots().size(), 1u);
+  EXPECT_EQ(p.roots()[0].name, "solve");
+}
+
+TEST(PhaseProfileTest, FromLiveSessionSpans) {
+  Session session;
+  {
+    Span outer("outer");
+    { Span inner("inner"); }
+    { Span inner("inner"); }
+  }
+  const PhaseProfile p = PhaseProfile::FromTrace(session.trace());
+  const ProfileNode* outer = p.Find({"outer"});
+  const ProfileNode* inner = p.Find({"outer", "inner"});
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  EXPECT_EQ(inner->count, 2u);
+  EXPECT_GE(outer->inclusive_us, inner->inclusive_us);
+  EXPECT_DOUBLE_EQ(p.total_us(), outer->inclusive_us);
+}
+
+TEST(PhaseProfileTest, ToTextListsPhasesWithHeader) {
+  const PhaseProfile p = PhaseProfile::FromEvents({
+      Ev("solve", 0.0, 100.0, 0),
+      Ev("merge", 10.0, 20.0, 1),
+  });
+  const std::string text = p.ToText();
+  EXPECT_NE(text.find("phase profile (total 0.100 ms)"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("phase"), std::string::npos);
+  EXPECT_NE(text.find("excl%"), std::string::npos);
+  EXPECT_NE(text.find("solve"), std::string::npos);
+  EXPECT_NE(text.find("merge"), std::string::npos);
+  // The child renders indented under its parent.
+  EXPECT_LT(text.find("solve"), text.find("merge"));
+}
+
+TEST(PhaseProfileTest, JsonRoundTripsStructure) {
+  const PhaseProfile p = PhaseProfile::FromEvents({
+      Ev("solve", 0.0, 100.0, 0),
+      Ev("merge", 10.0, 20.0, 1),
+      Ev("merge", 40.0, 30.0, 1),
+  });
+  auto parsed = Json::Parse(p.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->GetNumber("total_us"), 100.0);
+  const Json* phases = parsed->Find("phases");
+  ASSERT_NE(phases, nullptr);
+  ASSERT_EQ(phases->as_array().size(), 1u);
+  const Json& solve = phases->as_array()[0];
+  EXPECT_EQ(solve.GetString("name"), "solve");
+  EXPECT_EQ(solve.GetNumber("count"), 1.0);
+  EXPECT_EQ(solve.GetNumber("exclusive_us"), 50.0);
+  const Json* children = solve.Find("children");
+  ASSERT_NE(children, nullptr);
+  ASSERT_EQ(children->as_array().size(), 1u);
+  EXPECT_EQ(children->as_array()[0].GetNumber("count"), 2.0);
+  // Leaves omit the children key entirely.
+  EXPECT_EQ(children->as_array()[0].Find("children"), nullptr);
+}
+
+TEST(PhaseProfileTest, WriteJsonProducesParseableFile) {
+  const PhaseProfile p =
+      PhaseProfile::FromEvents({Ev("solve", 0.0, 10.0, 0)});
+  const std::string path =
+      testing::TempDir() + "/phase_profile_test.json";
+  ASSERT_TRUE(p.WriteJson(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string body;
+  char buf[256];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) body.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  auto parsed = Json::Parse(body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->GetNumber("total_us"), 10.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sparkopt

@@ -1,20 +1,26 @@
 #!/usr/bin/env bash
 # Perf-trajectory snapshot: runs the solver benches in fast mode and
 # collects their RESULT-line JSON into one file, so every PR can commit a
-# BENCH_<tag>.json at the repo root and the next re-anchor can diff
+# BENCH_<tag>.json at the repo root and tools/bench_diff.py can diff
 # solve times instead of guessing.
 #
 # Usage: tools/bench_snapshot.sh [build_dir] [out_file]
 #   build_dir  defaults to build       (needs a Release build of bench/)
 #   out_file   defaults to BENCH_snapshot.json
+#   SPARKOPT_SNAPSHOT_REPEATS  bench repetitions (default 3)
 #
-# Output shape: {"<result name>": [record, ...], ...} — one key per
-# RESULT line name (hmooc_solve, dag_aggregation, pareto_merge), records
-# in emission order.
+# Each bench runs SPARKOPT_SNAPSHOT_REPEATS times; records sharing one
+# key tuple (the config axes declared in tools/bench_schema.json) are
+# aggregated, every numeric metric becoming {"mean", "stddev", "runs"}.
+# Output shape:
+#   {"meta": {git_sha, git_dirty, date_utc, host, repeats, schema_version},
+#    "results": {"<result name>": [aggregated record, ...], ...}}
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
 OUT=${2:-BENCH_snapshot.json}
+REPEATS=${SPARKOPT_SNAPSHOT_REPEATS:-3}
+SCHEMA="$(dirname "$0")/bench_schema.json"
 
 if [[ ! -x "${BUILD_DIR}/bench/bench_hmooc_solver" ]]; then
   echo "bench_snapshot: ${BUILD_DIR}/bench/ not built (cmake --build ${BUILD_DIR} -j)" >&2
@@ -27,25 +33,79 @@ trap 'rm -f "${tmp}"' EXIT
 # --benchmark_filter='^$' skips the google-benchmark timing loops: only
 # the directly measured RESULT emitters run, which keeps the snapshot
 # fast and its records comparable across machines of one CI pool.
-SPARKOPT_BENCH_FAST=1 "${BUILD_DIR}/bench/bench_hmooc_solver" \
-  --benchmark_filter='^$' | grep '^RESULT ' >> "${tmp}"
-SPARKOPT_BENCH_FAST=1 "${BUILD_DIR}/bench/bench_dag_aggregation" \
+for ((rep = 0; rep < REPEATS; ++rep)); do
+  SPARKOPT_BENCH_FAST=1 "${BUILD_DIR}/bench/bench_hmooc_solver" \
+    --benchmark_filter='^$' | grep '^RESULT ' >> "${tmp}"
+  SPARKOPT_BENCH_FAST=1 "${BUILD_DIR}/bench/bench_dag_aggregation" \
+    | grep '^RESULT ' >> "${tmp}"
+  SPARKOPT_BENCH_FAST=1 "${BUILD_DIR}/bench/bench_pareto_ops" \
+    --benchmark_filter='^$' | grep '^RESULT ' >> "${tmp}"
+done
+# The pruning/observability bench drives the full tuner and measures its
+# own repeats internally — run it once.
+SPARKOPT_BENCH_FAST=1 "${BUILD_DIR}/bench/bench_runtime_overhead" \
   | grep '^RESULT ' >> "${tmp}"
-SPARKOPT_BENCH_FAST=1 "${BUILD_DIR}/bench/bench_pareto_ops" \
-  --benchmark_filter='^$' | grep '^RESULT ' >> "${tmp}"
 
-python3 - "${tmp}" "${OUT}" <<'EOF'
+GIT_SHA=$(git -C "$(dirname "$0")/.." rev-parse --short HEAD 2>/dev/null || echo unknown)
+GIT_DIRTY=$(git -C "$(dirname "$0")/.." status --porcelain 2>/dev/null | grep -q . && echo true || echo false)
+
+python3 - "${tmp}" "${OUT}" "${SCHEMA}" "${REPEATS}" "${GIT_SHA}" "${GIT_DIRTY}" <<'EOF'
+import datetime
 import json
+import math
+import socket
 import sys
 
-records = {}
-with open(sys.argv[1], encoding="utf-8") as f:
+lines_path, out_path, schema_path, repeats, git_sha, git_dirty = sys.argv[1:7]
+with open(schema_path, encoding="utf-8") as f:
+    schema = json.load(f)["results"]
+
+# Group records by (name, key tuple); collect every numeric field's
+# samples across repeats. Non-numeric fields (and unregistered names'
+# whole records) pass through from the last occurrence.
+groups = {}
+with open(lines_path, encoding="utf-8") as f:
     for line in f:
         _, name, payload = line.split(" ", 2)
-        records.setdefault(name, []).append(json.loads(payload))
-with open(sys.argv[2], "w", encoding="utf-8") as f:
-    json.dump(records, f, indent=1)
+        rec = json.loads(payload)
+        spec = schema.get(name)
+        keys = spec["keys"] if spec else [
+            k for k, v in rec.items() if not isinstance(v, float)]
+        key = tuple((k, rec.get(k)) for k in keys)
+        slot = groups.setdefault((name, key), {"fields": {}, "samples": {}})
+        for field, value in rec.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                slot["fields"][field] = value
+            elif field in dict(key):
+                slot["fields"][field] = value
+            else:
+                slot["samples"].setdefault(field, []).append(float(value))
+
+results = {}
+for (name, key), slot in groups.items():
+    rec = dict(slot["fields"])
+    for field, samples in slot["samples"].items():
+        mean = sum(samples) / len(samples)
+        var = sum((s - mean) ** 2 for s in samples) / len(samples)
+        rec[field] = {"mean": mean, "stddev": math.sqrt(var),
+                      "runs": len(samples)}
+    results.setdefault(name, []).append(rec)
+
+snapshot = {
+    "meta": {
+        "git_sha": git_sha,
+        "git_dirty": git_dirty == "true",
+        "date_utc": datetime.datetime.now(datetime.timezone.utc)
+                    .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "host": socket.gethostname(),
+        "repeats": int(repeats),
+        "schema_version": 1,
+    },
+    "results": results,
+}
+with open(out_path, "w", encoding="utf-8") as f:
+    json.dump(snapshot, f, indent=1)
     f.write("\n")
-print(f"bench_snapshot: wrote {sum(map(len, records.values()))} records "
-      f"({', '.join(records)}) to {sys.argv[2]}")
+print(f"bench_snapshot: wrote {sum(map(len, results.values()))} aggregated "
+      f"records ({', '.join(sorted(results))}) to {out_path}")
 EOF

@@ -19,6 +19,7 @@ Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
 
 import argparse
+import json
 import os
 import re
 import sys
@@ -118,9 +119,10 @@ def collect_allows(raw_lines):
 
 
 class FileCtx:
-    def __init__(self, relpath, raw):
+    def __init__(self, relpath, raw, root="."):
         self.relpath = relpath
         self.raw = raw
+        self.root = root  # for rules that consult repo-level registries
         self.raw_lines = raw.splitlines()
         self.stripped = strip_comments_and_strings(raw)
         self.stripped_lines = self.stripped.splitlines()
@@ -256,6 +258,49 @@ def _bench_result(ctx):
                        "benchutil::EmitJson (bench_util.h)")
 
 
+_SCHEMA_CACHE = {}
+
+
+def _bench_schema_names(root):
+    """Registered RESULT names from tools/bench_schema.json, or None when
+    the registry is missing/unparseable (cached per root)."""
+    path = os.path.abspath(os.path.join(root, "tools", "bench_schema.json"))
+    if path not in _SCHEMA_CACHE:
+        try:
+            with open(path, encoding="utf-8") as f:
+                _SCHEMA_CACHE[path] = set(json.load(f).get("results", {}))
+        except (OSError, ValueError):
+            _SCHEMA_CACHE[path] = None
+    return _SCHEMA_CACHE[path]
+
+
+@rule(
+    "bench-result-schema",
+    "every RESULT name passed to benchutil::EmitJson must be registered in "
+    "tools/bench_schema.json, so bench_snapshot.sh knows its key fields and "
+    "bench_diff.py its metrics/thresholds",
+    _in("bench/", "examples/", exts=(".cc", ".cpp")),
+)
+def _bench_result_schema(ctx):
+    # Raw lines: the name lives inside a string literal, which the
+    # stripped view blanks out.
+    rx = re.compile(r'EmitJson\(\s*"([^"]+)"')
+    uses = [(ln, name) for ln, line in enumerate(ctx.raw_lines, 1)
+            for name in rx.findall(line)]
+    if not uses:
+        return
+    registered = _bench_schema_names(ctx.root)
+    if registered is None:
+        yield uses[0][0], ("tools/bench_schema.json is missing or "
+                           "unparseable; RESULT names cannot be validated")
+        return
+    for ln, name in uses:
+        if name not in registered:
+            yield ln, (f"RESULT name '{name}' is not registered in "
+                       "tools/bench_schema.json; declare its keys, metrics, "
+                       "and thresholds there")
+
+
 # ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
@@ -281,7 +326,7 @@ def lint_file(root, relpath):
     with open(os.path.join(root, relpath), encoding="utf-8",
               errors="replace") as f:
         raw = f.read()
-    ctx = FileCtx(relpath, raw)
+    ctx = FileCtx(relpath, raw, root)
     allows = collect_allows(ctx.raw_lines)
     findings = []
     for r in RULES:

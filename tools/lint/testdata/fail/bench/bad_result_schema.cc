@@ -1,0 +1,10 @@
+// Fixture: EmitJson with a RESULT name absent from the registry in
+// tools/bench_schema.json (only "registered_bench" is declared there).
+#include "bench_util.h"
+
+int main() {
+  sparkopt::obs::Json payload;
+  sparkopt::benchutil::EmitJson("registered_bench", payload);
+  sparkopt::benchutil::EmitJson("unregistered_bench", payload);  // line 8
+  return 0;
+}
