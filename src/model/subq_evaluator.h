@@ -53,12 +53,18 @@ class EvalCache {
   /// non-null, receives the number of slots inspected (>= 1) — the
   /// open-addressing probe length the profiler uses to price lookups.
   bool Lookup(uint64_t key, SubQObjectives* out, int* probes = nullptr) const;
-  /// Inserts unless the probe window is exhausted (then a no-op).
+  /// Inserts unless the probe window is exhausted (then a counted no-op;
+  /// see drops()).
   void Insert(uint64_t key, const SubQObjectives& value);
-  /// Empties the table. Not thread-safe against concurrent access.
+  /// Empties the table and resets the drop counter. Not thread-safe
+  /// against concurrent access.
   void Clear();
 
   size_t capacity() const { return mask_ + 1; }
+  /// Inserts silently dropped because every slot in the probe window was
+  /// taken. A high drop rate means the table is undersized for the solve
+  /// (hit rate degrades even though lookups keep paying full probes).
+  uint64_t drops() const { return drops_.load(std::memory_order_relaxed); }
 
  private:
   struct Slot {
@@ -71,6 +77,7 @@ class EvalCache {
 
   std::unique_ptr<Slot[]> slots_;
   size_t mask_ = 0;
+  std::atomic<uint64_t> drops_{0};
 };
 
 /// \brief Evaluates subQs of one query as standalone stages.
@@ -108,6 +115,22 @@ class SubQEvaluator {
                           const std::vector<bool>* completed_subqs =
                               nullptr) const;
 
+  /// \brief Coarse tier-0 objectives of one subQ: the same operator loop
+  /// and join-algorithm selection as Evaluate (so the screen reacts to
+  /// every theta dimension that changes the plan), but with a single
+  /// uniform representative partition — no skewed-partition vector, no
+  /// skew split, no AQE coalesce simulation. 5-20x cheaper per call than
+  /// Evaluate and monotonically related to it, which is what a
+  /// dominance-margin screen needs (see moo/objective_models.h). Never
+  /// consults the eval cache: screen values live in a different result
+  /// space than full evaluations and must not share keys.
+  SubQObjectives EvaluateScreen(int subq_id, const ContextParams& theta_c,
+                                const PlanParams& theta_p,
+                                const StageParams& theta_s,
+                                CardinalitySource source,
+                                const std::vector<bool>* completed_subqs =
+                                    nullptr) const;
+
   /// Query-level objectives = sum over subQs (the Lambda aggregator).
   SubQObjectives EvaluateQuery(const ContextParams& theta_c,
                                const std::vector<PlanParams>& theta_p,
@@ -125,8 +148,23 @@ class SubQEvaluator {
   /// Safe to share across solves: evaluation is a pure function of the
   /// cached key's inputs (the plan's cardinalities are immutable), and
   /// the runtime completed-subQ mask is part of the key.
-  void set_eval_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
+  /// Re-enabling also re-arms the adaptive bypass (below), giving the
+  /// cache a fresh observation window.
+  void set_eval_cache_enabled(bool enabled) {
+    cache_enabled_ = enabled;
+    cache_bypassed_.store(false, std::memory_order_relaxed);
+  }
   bool eval_cache_enabled() const { return cache_enabled_; }
+  /// \brief Adaptive bypass: once kBypassWindow lookups have been
+  /// observed and the running hit rate sits below kBypassMinHitRate,
+  /// probing is disabled for all further evaluations — at low hit rates
+  /// the probe cost exceeds the hit win (the threads=1 regression of
+  /// DESIGN.md section 12). The bypass is latched until re-armed via
+  /// set_eval_cache_enabled(true); results are unaffected either way
+  /// (the cache is transparent), only lookup overhead changes.
+  bool eval_cache_bypassed() const {
+    return cache_bypassed_.load(std::memory_order_relaxed);
+  }
   uint64_t eval_cache_hits() const {
     return cache_hits_.load(std::memory_order_relaxed);
   }
@@ -142,8 +180,29 @@ class SubQEvaluator {
   uint64_t eval_cache_probes() const {
     return cache_probes_.load(std::memory_order_relaxed);
   }
+  /// Inserts dropped by the cache because the probe window was full
+  /// (EvalCache::drops); emitted next to hits/misses on the hmooc_solve
+  /// RESULT line so table-pressure is visible from benchmarks.
+  uint64_t eval_cache_drops() const { return cache_.drops(); }
+
+  /// Lookups observed before the bypass decision is made, and the hit
+  /// rate below which probing stops paying for itself (measured: at a
+  /// 5.7% hit rate the threads=1 solve was ~16% slower with the cache on
+  /// than off — DESIGN.md section 12).
+  static constexpr uint64_t kBypassWindow = 4096;
+  static constexpr double kBypassMinHitRate = 0.10;
 
  private:
+  QueryStage BuildStageCore(int subq_id, const ContextParams& theta_c,
+                            const PlanParams& theta_p,
+                            const StageParams& theta_s,
+                            CardinalitySource source,
+                            const std::vector<bool>* completed_subqs,
+                            bool coarse) const;
+  SubQObjectives FinishObjectives(const QueryStage& st,
+                                  const ContextParams& theta_c,
+                                  double task_sum) const;
+
   const Query* query_;
   std::vector<SubQuery> subqs_;
   std::vector<int> subq_of_op_;
@@ -151,6 +210,7 @@ class SubQEvaluator {
   PriceBook prices_;
   bool cache_enabled_ = true;
   mutable EvalCache cache_;
+  mutable std::atomic<bool> cache_bypassed_{false};
   mutable std::atomic<uint64_t> cache_hits_{0};
   mutable std::atomic<uint64_t> cache_misses_{0};
   mutable std::atomic<uint64_t> cache_probes_{0};

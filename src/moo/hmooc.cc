@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <numeric>
 
 #include "analysis/invariants.h"
@@ -12,6 +13,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "moo/kmeans.h"
+#include "moo/objective_models.h"
 #include "obs/trace.h"
 #include "params/sampler.h"
 
@@ -285,6 +287,20 @@ MooRunResult HmoocSolver::Solve() const {
   Rng rng(opts_.seed);
   const int m = model_->num_subqs();
   span.Arg("subqs", m);
+  // Multi-fidelity screening: route batched evaluations through the
+  // tiered wrapper. kOff (the default) and unusable screen configs take
+  // the raw model, keeping the single-fidelity path bitwise intact.
+  std::unique_ptr<ScreeningSubQModel> screening;
+  const SubQObjectiveModel* model = model_;
+  if (opts_.fidelity.mode != FidelityMode::kOff) {
+    screening =
+        std::make_unique<ScreeningSubQModel>(model_, opts_.fidelity);
+    if (screening->usable()) {
+      model = screening.get();
+    } else {
+      screening.reset();
+    }
+  }
   // Worker pool for the independent fan-outs below. All RNG draws happen
   // on this thread before each parallel region; workers only fill
   // index-addressed slots, so results are bitwise identical at any
@@ -356,7 +372,7 @@ MooRunResult HmoocSolver::Solve() const {
         std::vector<ObjectiveVector> fs;
         obs::Observe("hmooc.subq_batch_rows",
                      static_cast<double>(confs.size()));
-        model_->EvaluateBatch(i, confs, &fs);
+        model->EvaluateBatch(i, confs, &fs);
         for (size_t j : ParetoIndices(fs)) {
           opt_pool[r][i].push_back(static_cast<int>(j));
         }
@@ -385,7 +401,7 @@ MooRunResult HmoocSolver::Solve() const {
           std::vector<ObjectiveVector> fs;
           obs::Observe("hmooc.subq_batch_rows",
                        static_cast<double>(confs.size()));
-          model_->EvaluateBatch(i, confs, &fs);
+          model->EvaluateBatch(i, confs, &fs);
           auto& subq_set = (*eff)[base + c][i];
           // Keep only the member-level Pareto entries (Prop. 5.1).
           for (size_t idx : ParetoIndices(fs)) {
@@ -507,6 +523,14 @@ MooRunResult HmoocSolver::Solve() const {
   obs::Count("hmooc.solves");
   obs::Count("hmooc.model_evals", result.evaluations);
   obs::Count("hmooc.pareto_points", result.pareto.size());
+  if (screening) {
+    span.Arg("mf_tier0_evals",
+             static_cast<double>(screening->tier0_evals()));
+    span.Arg("mf_tier1_evals",
+             static_cast<double>(screening->tier1_evals()));
+    span.Arg("mf_batches",
+             static_cast<double>(screening->screened_batches()));
+  }
   return result;
 }
 

@@ -192,6 +192,68 @@ TEST(SubQEvaluatorTest, EvalCacheKeySeparatesInputs) {
   EXPECT_EQ(fx.eval.eval_cache_misses(), 5u);
 }
 
+TEST(EvalCacheTest, InsertDropsCountedWhenProbeWindowFull) {
+  EvalCache cache(1024);
+  // Far more distinct keys than slots: once every probe window is full,
+  // further inserts are counted no-ops.
+  for (uint64_t k = 2; k < 50000; ++k) {
+    cache.Insert(k, SubQObjectives{});
+  }
+  EXPECT_GT(cache.drops(), 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.drops(), 0u);
+}
+
+TEST(SubQEvaluatorTest, EvalCacheDropsExposedAndZeroOnSmallWorkload) {
+  Fixture fx;
+  fx.eval.Evaluate(0, fx.tc, fx.tp, fx.ts, CardinalitySource::kEstimated);
+  EXPECT_EQ(fx.eval.eval_cache_drops(), 0u);
+}
+
+TEST(SubQEvaluatorTest, AdaptiveBypassTripsAtLowHitRateAndRearms) {
+  Fixture fx;
+  EXPECT_FALSE(fx.eval.eval_cache_bypassed());
+  // All-miss traffic: every conf is distinct, so after kBypassWindow
+  // lookups the running hit rate (0) sits below kBypassMinHitRate and
+  // the latch must trip.
+  auto tp = fx.tp;
+  for (uint64_t i = 0; i <= SubQEvaluator::kBypassWindow; ++i) {
+    tp.advisory_partition_size_mb = 64.0 + 1e-6 * static_cast<double>(i);
+    fx.eval.Evaluate(0, fx.tc, tp, fx.ts, CardinalitySource::kEstimated);
+  }
+  EXPECT_TRUE(fx.eval.eval_cache_bypassed());
+  // Bypassed lookups stop probing (results stay correct regardless).
+  const uint64_t probes_before = fx.eval.eval_cache_probes();
+  tp.advisory_partition_size_mb = 65.0;
+  fx.eval.Evaluate(0, fx.tc, tp, fx.ts, CardinalitySource::kEstimated);
+  EXPECT_EQ(fx.eval.eval_cache_probes(), probes_before);
+  // Re-enabling re-arms the observation window.
+  fx.eval.set_eval_cache_enabled(true);
+  EXPECT_FALSE(fx.eval.eval_cache_bypassed());
+  fx.eval.Evaluate(0, fx.tc, tp, fx.ts, CardinalitySource::kEstimated);
+  EXPECT_GT(fx.eval.eval_cache_probes(), probes_before);
+}
+
+TEST(SubQEvaluatorTest, EvaluateScreenSanity) {
+  Fixture fx;
+  const uint64_t probes_before = fx.eval.eval_cache_probes();
+  for (int i = 0; i < fx.eval.num_subqs(); ++i) {
+    const auto a =
+        fx.eval.EvaluateScreen(i, fx.tc, fx.tp, fx.ts,
+                               CardinalitySource::kEstimated);
+    EXPECT_GT(a.analytical_latency, 0.0) << "subq " << i;
+    EXPECT_GT(a.cost, 0.0);
+    const auto b =
+        fx.eval.EvaluateScreen(i, fx.tc, fx.tp, fx.ts,
+                               CardinalitySource::kEstimated);
+    EXPECT_EQ(a.analytical_latency, b.analytical_latency) << "subq " << i;
+    EXPECT_EQ(a.cost, b.cost);
+  }
+  // The screen lives in a different result space than full evaluations
+  // and must never touch the eval cache.
+  EXPECT_EQ(fx.eval.eval_cache_probes(), probes_before);
+}
+
 TEST(SubQEvaluatorTest, ShufflePartitionCountRespected) {
   Fixture fx;
   int join_subq = -1;

@@ -243,11 +243,19 @@ def run_diff(baseline_path, current_path, schema, gate, gate_scale,
 
 
 def selftest(baseline_path, schema):
-    """Proves the comparator's two contractual behaviours:
+    """Proves the comparator's three contractual behaviours:
 
     1. a snapshot diffed against itself is clean (no false positives),
-    2. a 10% slowdown injected into every hmooc_solve solve_ms row is
-       detected as a gated tier-1 regression.
+    2. with the noise band removed, a 10% slowdown injected into every
+       hmooc_solve solve_ms row is detected as a gated tier-1 regression
+       (the threshold math works),
+    3. the same 10% slowdown under a synthetic 10% stddev is NOT flagged
+       (the noise band works).
+
+    Contracts 2/3 run on stddev-overridden copies on purpose: they test
+    the comparator's math, not the capture machine. A snapshot taken on
+    a loud box records honest stddevs large enough to (correctly) mask a
+    10% change — that must not fail the selftest.
     """
     base = result_tables(load_json(baseline_path))
     base_agg, _ = aggregate(base, schema)
@@ -259,24 +267,43 @@ def selftest(baseline_path, schema):
               f"{clean_failures} gated failure(s)")
         return 1
 
-    slowed = copy.deepcopy(base_agg)
-    rows = slowed.get("hmooc_solve", {})
-    if not rows:
+    def with_solve_ms(agg, scale, sd_frac):
+        out = copy.deepcopy(agg)
+        rows = out.get("hmooc_solve", {})
+        for slot in rows.values():
+            if "solve_ms" in slot:
+                mean, _sd, runs = slot["solve_ms"]
+                slot["solve_ms"] = (mean * scale, mean * sd_frac, runs)
+        return out
+
+    if not base_agg.get("hmooc_solve"):
         print("selftest FAIL: baseline has no hmooc_solve rows to inflate")
         return 1
-    for slot in rows.values():
-        if "solve_ms" in slot:
-            mean, sd, runs = slot["solve_ms"]
-            slot["solve_ms"] = (mean * 1.10, sd, runs)
-    findings, slow_failures = diff(base_agg, slowed, schema,
+
+    quiet_base = with_solve_ms(base_agg, 1.0, 0.0)
+    quiet_slowed = with_solve_ms(base_agg, 1.10, 0.0)
+    findings, slow_failures = diff(quiet_base, quiet_slowed, schema,
                                    gate="tier1", gate_scale=1.0)
     detected = [f for f in findings if f["kind"] == "regression"
                 and f["name"] == "hmooc_solve" and f["metric"] == "solve_ms"]
     if not detected or not slow_failures:
         print("selftest FAIL: 10% hmooc_solve slowdown was not detected")
         return 1
+
+    noisy_base = with_solve_ms(base_agg, 1.0, 0.10)
+    noisy_slowed = with_solve_ms(base_agg, 1.10, 0.10)
+    findings, noisy_failures = diff(noisy_base, noisy_slowed, schema,
+                                    gate="tier1", gate_scale=1.0)
+    in_band = [f for f in findings if f["kind"] == "regression"
+               and f["name"] == "hmooc_solve" and f["metric"] == "solve_ms"]
+    if in_band or noisy_failures:
+        print("selftest FAIL: 10% slowdown inside a 10%-stddev noise band "
+              "was flagged as a regression")
+        return 1
+
     print(f"selftest PASS: clean on identical snapshots; 10% hmooc_solve "
-          f"slowdown detected on {len(detected)} row(s)")
+          f"slowdown detected on {len(detected)} row(s); same slowdown "
+          f"correctly masked by a 10% noise band")
     return 0
 
 
