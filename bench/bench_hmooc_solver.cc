@@ -200,6 +200,62 @@ void EmitSolveResults() {
   }
 }
 
+// 3-objective solve sweep: each query solved end-to-end with k = 2 and
+// k = 3 under HMOOC1 (the exact D&C aggregation, where the k = 3
+// kd-staircase merge actually runs), emitting both times and their
+// ratio. The PR 9 acceptance target is ratio <= 1.5 on the TPC-H rows.
+void EmitSolve3Results() {
+  auto tpch_catalog = TpchCatalog(100);
+  auto tpcds_catalog = TpcdsCatalog(100);
+  struct Row {
+    std::string name;
+    Query q;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"tpch_q3", *MakeTpchQuery(3, &tpch_catalog)});
+  rows.push_back({"tpch_q9", *MakeTpchQuery(9, &tpch_catalog)});
+  for (int qid = 1; qid <= 102; ++qid) {
+    auto q = MakeTpcdsQuery(qid, &tpcds_catalog);
+    if (q.ok()) {
+      rows.push_back({"tpcds_q" + std::to_string(qid), std::move(*q)});
+      break;
+    }
+  }
+  ClusterSpec cluster;
+  CostModelParams cost;
+  const int reps = 3;  // best-of-3: see EmitSolveResults
+  for (Row& row : rows) {
+    double solve_ms[2] = {0.0, 0.0};
+    size_t front_size[2] = {0, 0};
+    for (int k : {2, 3}) {
+      AnalyticSubQModel model(&row.q, cluster, cost);
+      model.set_num_objectives(k);
+      HmoocOptions ho;
+      ho.seed = 3;
+      ho.aggregation = DagAggregation::kDivideAndConquer;
+      HmoocSolver solver(&model, ho);
+      double best_s = 1e300;
+      for (int rep = 0; rep < reps; ++rep) {
+        benchutil::Timer timer;
+        const auto r = solver.Solve();
+        best_s = std::min(best_s, timer.Seconds());
+        front_size[k - 2] = r.pareto.size();
+      }
+      solve_ms[k - 2] = best_s * 1e3;
+    }
+    obs::JsonObject o;
+    o.emplace_back("query", obs::Json(row.name));
+    o.emplace_back("solve2_ms", obs::Json(solve_ms[0]));
+    o.emplace_back("solve3_ms", obs::Json(solve_ms[1]));
+    o.emplace_back("ratio", obs::Json(solve_ms[1] / solve_ms[0]));
+    o.emplace_back("front2_size",
+                   obs::Json(static_cast<uint64_t>(front_size[0])));
+    o.emplace_back("front3_size",
+                   obs::Json(static_cast<uint64_t>(front_size[1])));
+    benchutil::EmitJson("hmooc_solve3", obs::Json(std::move(o)));
+  }
+}
+
 // Multi-fidelity screening sweep (DESIGN.md section 13): for each
 // workload, solve every query single-fidelity (the quality/latency
 // reference) and under each screen config, then emit
@@ -370,6 +426,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   sparkopt::EmitSolveResults();
+  sparkopt::EmitSolve3Results();
   sparkopt::EmitFidelitySweep();
   return 0;
 }

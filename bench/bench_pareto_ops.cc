@@ -42,6 +42,22 @@ std::vector<ObjectiveVector> StaircaseFront(size_t n, uint64_t seed) {
   return pts;
 }
 
+// A synthetic 3-D front of exactly n points: x strictly increasing and
+// y strictly decreasing makes every pair mutually non-dominated for any
+// z, so the third axis can be free-ranging without shrinking the front.
+std::vector<ObjectiveVector> StaircaseFront3(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ObjectiveVector> pts(n, ObjectiveVector(3));
+  double x = 0.0;
+  double y = static_cast<double>(n);
+  for (auto& p : pts) {
+    x += rng.Uniform(0.1, 1.0);
+    y -= rng.Uniform(0.1, 1.0);
+    p = {x, y, rng.Uniform(0.0, static_cast<double>(n))};
+  }
+  return pts;
+}
+
 void BM_ParetoFilter2D(benchmark::State& state) {
   const auto pts = RandomPoints(state.range(0), 2, 42);
   for (auto _ : state) {
@@ -103,6 +119,19 @@ void BM_MinkowskiMergeFront(benchmark::State& state) {
 }
 BENCHMARK(BM_MinkowskiMergeFront)->Range(256, 8192);
 
+// 3-objective staircase merge: the kd-staircase path of FlatMerge3
+// against inputs shaped like HMOOC1's 3-objective intermediates.
+void BM_MinkowskiMerge3Front(benchmark::State& state) {
+  IndexedFront a, b;
+  a.points = StaircaseFront3(state.range(0), 3);
+  b.points = StaircaseFront3(state.range(0), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MergeFronts(a, b, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * a.size() * b.size());
+}
+BENCHMARK(BM_MinkowskiMerge3Front)->Range(256, 4096);
+
 void BM_MinkowskiMergeFrontNaive(benchmark::State& state) {
   IndexedFront a, b;
   a.points = StaircaseFront(state.range(0), 3);
@@ -161,6 +190,47 @@ void EmitMergeResults() {
   }
 }
 
+// Same contract for the 3-objective kernel: flat kd-staircase merge vs
+// the naive materialized cross product, on 3-D staircase fronts.
+void EmitMerge3Results() {
+  const bool fast = benchutil::FastMode();
+  const int reps = fast ? 3 : 10;
+  for (const size_t n : {size_t{256}, size_t{1024}, size_t{4096}}) {
+    IndexedFront a, b;
+    a.points = StaircaseFront3(n, 3);
+    b.points = StaircaseFront3(n, 5);
+    double flat_s = 1e300;
+    size_t out_size = 0;
+    for (int r = 0; r < reps; ++r) {
+      benchutil::Timer timer;
+      const auto merged = MergeFronts(a, b, nullptr);
+      flat_s = std::min(flat_s, timer.Seconds());
+      out_size = merged.size();
+    }
+    double naive_s = -1.0;
+    if (n <= (fast ? 1024u : 4096u)) {
+      naive_s = 1e300;
+      const int naive_reps = n <= 1024 ? reps : 1;
+      for (int r = 0; r < naive_reps; ++r) {
+        benchutil::Timer timer;
+        const auto merged = MergeFrontsNaive(a, b, nullptr);
+        naive_s = std::min(naive_s, timer.Seconds());
+      }
+    }
+    obs::JsonObject o;
+    o.emplace_back("front_size", obs::Json(static_cast<uint64_t>(n)));
+    o.emplace_back("out_size", obs::Json(static_cast<uint64_t>(out_size)));
+    o.emplace_back("flat_ns_per_point",
+                   obs::Json(flat_s * 1e9 / out_size));
+    if (naive_s >= 0.0) {
+      o.emplace_back("naive_ns_per_point",
+                     obs::Json(naive_s * 1e9 / out_size));
+      o.emplace_back("speedup", obs::Json(naive_s / flat_s));
+    }
+    benchutil::EmitJson("pareto_merge3", obs::Json(std::move(o)));
+  }
+}
+
 }  // namespace sparkopt
 
 int main(int argc, char** argv) {
@@ -169,5 +239,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   sparkopt::EmitMergeResults();
+  sparkopt::EmitMerge3Results();
   return 0;
 }

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.h"
+
+/// \file arena.h
+/// \brief Monotonic per-session arena for solve-path temporaries.
+///
+/// The solve path (HMOOC DAG aggregation in particular) builds many
+/// short-lived variable-length buffers — choice-row matrices, thinning
+/// staging — whose lifetimes all end together when the aggregation
+/// finishes. A MonotonicArena hands out pointer-bump allocations from a
+/// small list of blocks and releases everything at once with Reset(),
+/// which keeps the blocks: after the first call has grown the arena to
+/// its high-water mark, steady-state Reset()/Allocate() cycles perform
+/// no heap allocation at all (the property the alloc-probe tests pin).
+///
+/// Ownership contract (mirrors ParetoScratch): the arena is caller-owned
+/// — create one per thread or per solver task, pass it down, Reset() it
+/// at the start of each solve. It is NOT thread-safe; concurrent users
+/// need one arena each. Allocations are never individually freed and
+/// trivially-destructible payloads only (the arena never runs
+/// destructors).
+
+namespace sparkopt {
+
+class MonotonicArena {
+ public:
+  /// `block_bytes` is the granularity of growth; oversized requests get
+  /// a dedicated block of exactly the requested size.
+  explicit MonotonicArena(size_t block_bytes = 1 << 16)
+      : block_bytes_(block_bytes) {}
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  /// Returns `count` default-initialized (i.e. uninitialized for
+  /// arithmetic types) elements of trivially-destructible type T,
+  /// aligned for T. Valid until the next Reset().
+  template <typename T>
+  T* AllocArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "MonotonicArena never runs destructors");
+    if (count == 0) return nullptr;
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Raw aligned allocation. `align` must be a power of two.
+  void* Allocate(size_t bytes, size_t align) {
+    SPARKOPT_DCHECK((align & (align - 1)) == 0) << "non-power-of-two align";
+    while (block_ < blocks_.size()) {
+      Block& b = blocks_[block_];
+      const uintptr_t base = reinterpret_cast<uintptr_t>(b.data.get());
+      const uintptr_t cur = (base + b.used + align - 1) & ~(align - 1);
+      if (cur + bytes <= base + b.size) {
+        b.used = cur + bytes - base;
+        return reinterpret_cast<void*>(cur);
+      }
+      // This block is exhausted for a request this size: move on. Blocks
+      // are never revisited until Reset(), keeping Allocate O(1)
+      // amortized.
+      ++block_;
+    }
+    AddBlock(bytes + align);
+    return Allocate(bytes, align);
+  }
+
+  /// Releases every allocation at once. Blocks are kept, so a warm arena
+  /// serves the next session without touching the heap.
+  void Reset() {
+    for (Block& b : blocks_) b.used = 0;
+    block_ = 0;
+  }
+
+  /// Total bytes of owned blocks — the high-water footprint.
+  size_t capacity_bytes() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+  /// Bytes handed out since the last Reset() (including alignment pad).
+  size_t used_bytes() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.used;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  void AddBlock(size_t min_bytes) {
+    Block b;
+    b.size = min_bytes > block_bytes_ ? min_bytes : block_bytes_;
+    b.data = std::make_unique<char[]>(b.size);
+    blocks_.push_back(std::move(b));
+  }
+
+  size_t block_bytes_;
+  size_t block_ = 0;  ///< first block with potential free space
+  std::vector<Block> blocks_;
+};
+
+}  // namespace sparkopt

@@ -50,6 +50,24 @@ std::vector<size_t> Pareto2D(const std::vector<ObjectiveVector>& pts) {
   return {scratch.kept.begin(), scratch.kept.end()};
 }
 
+// 3-D filter routed through the flat kernel's staircase sweep; same set
+// and order as ParetoKD on 3-objective input (the property suite pins
+// both against the quadratic reference).
+std::vector<size_t> Pareto3D(const std::vector<ObjectiveVector>& pts) {
+  ParetoScratch& scratch = TlsScratch();
+  scratch.ax.resize(pts.size());
+  scratch.ay.resize(pts.size());
+  scratch.az.resize(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    scratch.ax[i] = pts[i][0];
+    scratch.ay[i] = pts[i][1];
+    scratch.az[i] = pts[i][2];
+  }
+  FlatParetoPositions3(scratch.ax.data(), scratch.ay.data(), scratch.az.data(),
+                       pts.size(), &scratch.kept, &scratch);
+  return {scratch.kept.begin(), scratch.kept.end()};
+}
+
 // Generic k-D filter. Pre-sorts by sum of objectives so dominators tend to
 // be visited first, which keeps the non-dominated archive small.
 std::vector<size_t> ParetoKD(const std::vector<ObjectiveVector>& pts) {
@@ -82,6 +100,7 @@ std::vector<size_t> ParetoKD(const std::vector<ObjectiveVector>& pts) {
 std::vector<size_t> ParetoIndices(const std::vector<ObjectiveVector>& points) {
   if (points.empty()) return {};
   if (points[0].size() == 2) return Pareto2D(points);
+  if (points[0].size() == 3) return Pareto3D(points);
   return ParetoKD(points);
 }
 
@@ -149,6 +168,24 @@ double Hypervolume(const std::vector<ObjectiveVector>& front,
                    const ObjectiveVector& ref) {
   if (front.empty()) return 0.0;
   if (ref.size() == 2) return Hypervolume2D(front, ref);
+  if (ref.size() == 3) {
+    // Flat slab sweep, bitwise identical to HvRecursive (tied slabs have
+    // zero depth, so the recursion's tie order never reaches the sum).
+    // Stage into the b-side buffers: FlatHypervolume3 uses ax/ay/az as
+    // its own internal staging.
+    ParetoScratch& scratch = TlsScratch();
+    scratch.bx.resize(front.size());
+    scratch.by.resize(front.size());
+    scratch.bz.resize(front.size());
+    for (size_t i = 0; i < front.size(); ++i) {
+      scratch.bx[i] = front[i][0];
+      scratch.by[i] = front[i][1];
+      scratch.bz[i] = front[i][2];
+    }
+    return FlatHypervolume3(scratch.bx.data(), scratch.by.data(),
+                            scratch.bz.data(), front.size(), ref[0], ref[1],
+                            ref[2], &scratch);
+  }
   return HvRecursive(front, ref);
 }
 
@@ -197,6 +234,32 @@ IndexedFront FilterDominated(IndexedFront front) {
 IndexedFront MergeFronts(const IndexedFront& a, const IndexedFront& b,
                          std::vector<std::pair<size_t, size_t>>* combo_out) {
   const size_t k = a.empty() ? 0 : a.points[0].size();
+  if (k == 3) {
+    ParetoScratch& scratch = TlsScratch();
+    Front3 fa, fb, merged;
+    fa.reserve(a.size());
+    fb.reserve(b.size());
+    for (const auto& p : a.points) fa.Append(p[0], p[1], p[2], 0);
+    for (const auto& p : b.points) fb.Append(p[0], p[1], p[2], 0);
+    FlatMerge3(fa, fb, &merged, &scratch);
+
+    const size_t combo_base = combo_out != nullptr ? combo_out->size() : 0;
+    IndexedFront out;
+    out.points.reserve(merged.size());
+    out.payloads.reserve(merged.size());
+    if (combo_out != nullptr) combo_out->reserve(combo_base + merged.size());
+    for (size_t p = 0; p < merged.size(); ++p) {
+      out.points.push_back({merged.x[p], merged.y[p], merged.z[p]});
+      out.payloads.push_back(combo_base + p);
+      if (combo_out != nullptr) {
+        const MergePair& pair = scratch.pairs[p];
+        combo_out->emplace_back(
+            a.payloads.empty() ? pair.i : a.payloads[pair.i],
+            b.payloads.empty() ? pair.j : b.payloads[pair.j]);
+      }
+    }
+    return out;
+  }
   if (k != 2) return MergeFrontsNaive(a, b, combo_out);
 
   ParetoScratch& scratch = TlsScratch();

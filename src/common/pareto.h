@@ -15,11 +15,11 @@
 /// std::vector<double> of size k.
 ///
 /// This header is the AoS shim over the flat kernel in pareto_flat.h:
-/// the 2-objective paths of ParetoIndices, Hypervolume2D, and
+/// the 2- and 3-objective paths of ParetoIndices, Hypervolume, and
 /// MergeFronts delegate to the structure-of-arrays kernel and are
 /// bitwise identical — same points, same payload mapping, same stable
 /// tie order — to the naive formulations they replaced (the naive merge
-/// survives as MergeFrontsNaive for property tests and k > 2).
+/// survives as MergeFrontsNaive for property tests and k > 3).
 
 namespace sparkopt {
 
@@ -33,9 +33,10 @@ bool Dominates(const ObjectiveVector& a, const ObjectiveVector& b);
 /// \brief Indices of the non-dominated points in `points`.
 ///
 /// For 2-objective inputs this runs the classical sort-based Kung
-/// algorithm in O(n log n); for k > 2 it falls back to a pruned pairwise
-/// sweep. Ties: duplicate non-dominated points are all kept (stable order
-/// by original index).
+/// algorithm in O(n log n); 3-objective inputs take the flat kernel's
+/// staircase sweep (same complexity); k > 3 falls back to a pruned
+/// pairwise sweep. Ties: duplicate non-dominated points are all kept
+/// (stable order by original index).
 std::vector<size_t> ParetoIndices(const std::vector<ObjectiveVector>& points);
 
 /// \brief Filters `points` to its Pareto front (convenience wrapper).
@@ -49,9 +50,10 @@ std::vector<ObjectiveVector> ParetoFilter(
 double Hypervolume2D(const std::vector<ObjectiveVector>& front,
                      const ObjectiveVector& ref);
 
-/// \brief Hypervolume for k objectives by inclusion-exclusion style
-/// recursive slicing (WFG-like); intended for the small fronts (tens of
-/// points) this project produces. Falls back to Hypervolume2D for k = 2.
+/// \brief Hypervolume for k objectives; intended for the small fronts
+/// (tens of points) this project produces. k = 2 routes to Hypervolume2D,
+/// k = 3 to the flat kernel's slab sweep (bitwise identical to the
+/// recursive slicing it replaced), k > 3 to recursive slicing.
 double Hypervolume(const std::vector<ObjectiveVector>& front,
                    const ObjectiveVector& ref);
 
@@ -84,9 +86,9 @@ IndexedFront FilterDominated(IndexedFront front);
 /// \brief Minkowski-sum merge of two fronts (Algorithm 3): sums every
 /// |a| x |b| combination of objective vectors and keeps the Pareto front
 /// (the non-dominated multiset, duplicates included), ordered by
-/// cross-product index i * |b| + j. For 2-objective input the
+/// cross-product index i * |b| + j. For 2- and 3-objective input the
 /// output-sensitive flat kernel (pareto_flat.h) is used, so the product
-/// is never materialized; k > 2 falls back to MergeFrontsNaive.
+/// is never materialized; k > 3 falls back to MergeFrontsNaive.
 ///
 /// Payload contract: each surviving point originates from one
 /// (a-point, b-point) combination. When `combo_out` is non-null the pair

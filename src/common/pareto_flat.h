@@ -6,7 +6,7 @@
 
 /// \file pareto_flat.h
 /// \brief The flat Pareto kernel: allocation-free structure-of-arrays
-/// primitives for the dominant 2-objective case.
+/// primitives for the dominant 2- and 3-objective cases.
 ///
 /// Every MOO solver in this repo bottoms out in three operations —
 /// non-dominated filtering, Minkowski-sum merging (HMOOC1's
@@ -58,6 +58,39 @@ struct Front2 {
   }
 };
 
+/// \brief A 3-objective front in structure-of-arrays layout.
+///
+/// The k = 3 sibling of Front2: `x[i]`/`y[i]`/`z[i]` are the three
+/// (minimized) objectives of point i, `payload[i]` an opaque caller id.
+struct Front3 {
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<double> z;
+  std::vector<size_t> payload;
+
+  size_t size() const { return x.size(); }
+  bool empty() const { return x.empty(); }
+
+  void clear() {
+    x.clear();
+    y.clear();
+    z.clear();
+    payload.clear();
+  }
+  void reserve(size_t n) {
+    x.reserve(n);
+    y.reserve(n);
+    z.reserve(n);
+    payload.reserve(n);
+  }
+  void Append(double px, double py, double pz, size_t id) {
+    x.push_back(px);
+    y.push_back(py);
+    z.push_back(pz);
+    payload.push_back(id);
+  }
+};
+
 /// One surviving cell of a Minkowski merge: positions into the two input
 /// fronts (not payloads — the caller maps positions however it likes).
 struct MergePair {
@@ -91,6 +124,22 @@ struct ParetoScratch {
   std::vector<double> ax, ay;     ///< a sorted into SoA staging
   std::vector<double> bx, by;     ///< b sorted into SoA staging
   std::vector<uint32_t> amap, bmap;  ///< sorted position -> original
+
+  // -- k = 3 buffers ----------------------------------------------------
+  struct HeapCell3 {
+    double x = 0.0;  ///< sum x (heap key)
+    double y = 0.0;  ///< sum y
+    double z = 0.0;  ///< sum z
+    uint32_t i = 0;  ///< sorted position in a
+    uint32_t j = 0;  ///< sorted position in b
+  };
+  std::vector<HeapCell3> heap3;
+  std::vector<HeapCell3> group3;
+  std::vector<double> az, bz;  ///< third-axis staging
+  /// (y, z) minima staircase of kept points: sy strictly ascending, sz
+  /// strictly descending. Shared by the 3-D filter and merge.
+  std::vector<double> sy, sz;
+  std::vector<double> gy, gz;  ///< equal-sum-x group staging
 };
 
 /// \brief Non-dominated positions of the multiset {(x[i], y[i])}.
@@ -146,6 +195,72 @@ double FlatHypervolume2(const double* x, const double* y, size_t n,
 /// all points ever offered — the value sequence of
 /// `sort(ParetoFilter(all))`.
 bool ParetoInsert(Front2* front, double px, double py, size_t id);
+
+// ---- k = 3 primitives ----------------------------------------------------
+//
+// Each is the exact 3-objective sibling of the 2-D operation above, with
+// the same semantics contract: non-dominated *multiset* (exact
+// duplicates kept), stable caller order, bitwise-identical points to the
+// naive formulations (`ParetoIndices`' k-D sweep, `MergeFrontsNaive`,
+// the recursive `Hypervolume`). The sweep replaces the 2-D running-min
+// with a (y, z) minima staircase: after sorting by (x, y, z, position),
+// a point is dominated iff some *kept* lexicographically earlier point
+// has y' <= y and z' <= z (x' <= x is implied by the sort, and any
+// dominated witness is itself covered by a kept one, so querying the
+// kept staircase is sufficient).
+
+/// \brief Non-dominated positions of the multiset {(x[i], y[i], z[i])};
+/// appended to `*kept` (cleared first) in ascending position order — the
+/// same set and order `ParetoIndices` produces for 3-objective input.
+/// O(n log n) comparisons plus staircase maintenance (O(n) worst-case
+/// shifts per insert, amortized small for front-like inputs).
+void FlatParetoPositions3(const double* x, const double* y, const double* z,
+                          size_t n, std::vector<uint32_t>* kept,
+                          ParetoScratch* scratch);
+
+/// \brief Filters `*front` in place to its non-dominated multiset.
+void FlatPareto3(Front3* front, ParetoScratch* scratch);
+
+/// \brief Output-sensitive 3-D Minkowski-sum merge.
+///
+/// Writes to `*out` (cleared first) the non-dominated multiset of
+/// {(a.x[i]+b.x[j], a.y[i]+b.y[j], a.z[i]+b.z[j])} in cross-product
+/// order (i * b.size() + j ascending), with `out->payload[p] = p`;
+/// `scratch->pairs[p]` holds the originating (i, j) positions — the
+/// same contract as FlatMerge2, bitwise identical to materializing the
+/// product and filtering with `ParetoIndices`.
+///
+/// The sweep enumerates cells grouped by nondecreasing sum-x via a
+/// per-row min-heap; each equal-sum-x group is filtered internally with
+/// the 2-D kernel on (sum-y, sum-z) (equal first coordinates reduce
+/// dominance to the remaining two), then checked against the kd
+/// staircase of all kept cells from strictly smaller sum-x (weak
+/// (y, z)-dominance there is strict overall). Never materializes the
+/// |a| x |b| product; O(nm log(n+m)) worst case but output-sensitive in
+/// the staircase pruning for front-shaped inputs.
+void FlatMerge3(const Front3& a, const Front3& b, Front3* out,
+                ParetoScratch* scratch);
+
+/// \brief Exact 3-D hypervolume dominated by {(x, y, z)} and bounded by
+/// (ref_x, ref_y, ref_z): a z-sorted sweep of slabs, each contributing
+/// depth * 2-D staircase area of the points above it. Accepts any point
+/// multiset; bitwise identical to the recursive `Hypervolume` slicing on
+/// the same input (term order and expressions preserved). O(n^2 log n),
+/// scratch-buffered — fine for the tens-to-hundreds-point fronts this
+/// project produces.
+double FlatHypervolume3(const double* x, const double* y, const double* z,
+                        size_t n, double ref_x, double ref_y, double ref_z,
+                        ParetoScratch* scratch);
+
+/// \brief Incrementally inserts (px, py, pz, id) into `*front`, which
+/// must be (and stays) sorted by (x, y, z) ascending.
+///
+/// Returns false (front untouched) when an existing point strictly
+/// dominates the new one; otherwise removes the points the new one
+/// strictly dominates (not necessarily contiguous in 3-D — a single
+/// compaction pass) and inserts it, returning true. Maintains exactly
+/// the sorted non-dominated multiset of all points ever offered.
+bool ParetoInsert3(Front3* front, double px, double py, double pz, size_t id);
 
 /// \brief Epsilon-dominance thinning for front-size budgets (HMOOC1's
 /// optional knob): sweeping the staircase in (x, y) order, drops a point

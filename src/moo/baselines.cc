@@ -6,6 +6,7 @@
 #include <limits>
 #include <numeric>
 
+#include "common/check.h"
 #include "common/pareto_flat.h"
 #include "common/rng.h"
 
@@ -22,6 +23,40 @@ std::vector<double> RandomPoint(size_t d, Rng* rng) {
   std::vector<double> x(d);
   for (auto& v : x) v = rng->Uniform();
   return x;
+}
+
+// Evenly spread weight vectors over the k-simplex. k = 2 keeps the
+// historical `w / (n - 1)` ladder bitwise (0.5 for a single weight);
+// k = 3 uses the smallest simplex lattice {(a, b, t-a-b) / t} with at
+// least `num_weights` points in (a, b) lexicographic order — the same
+// construction as DagAggregator::AggregateWeightedSum so the WS
+// baseline and HMOOC2 scalarize over identical weight sets.
+std::vector<double> WeightLadder(size_t nk, int num_weights) {
+  std::vector<double> w;
+  if (num_weights <= 0) return w;
+  if (nk == 3) {
+    int t = 1;
+    while ((t + 1) * (t + 2) / 2 < num_weights) ++t;
+    const int rows = (t + 1) * (t + 2) / 2;
+    w.reserve(static_cast<size_t>(rows) * 3);
+    for (int a = 0; a <= t; ++a) {
+      for (int b = 0; b <= t - a; ++b) {
+        w.push_back(static_cast<double>(a) / t);
+        w.push_back(static_cast<double>(b) / t);
+        w.push_back(static_cast<double>(t - a - b) / t);
+      }
+    }
+    return w;
+  }
+  w.reserve(static_cast<size_t>(num_weights) * 2);
+  for (int row = 0; row < num_weights; ++row) {
+    const double w0 = num_weights == 1
+                          ? 0.5
+                          : static_cast<double>(row) / (num_weights - 1);
+    w.push_back(w0);
+    w.push_back(1.0 - w0);
+  }
+  return w;
 }
 
 MooRunResult FinishResult(const FlatProblem& decoder,
@@ -47,37 +82,38 @@ MooRunResult SolveWeightedSum(const QueryObjectiveFn& fn,
   const auto t0 = std::chrono::steady_clock::now();
   Rng rng(opts.seed);
   const size_t d = fn.dims();
+  const size_t nk = fn.num_objectives();
+  SPARKOPT_CHECK(nk == 2 || nk == 3) << "WS supports 2 or 3 objectives";
   std::vector<std::vector<double>> xs;
   std::vector<ObjectiveVector> fs;
   xs.reserve(opts.samples);
   fs.reserve(opts.samples);
-  ObjectiveVector lo(2, std::numeric_limits<double>::infinity());
-  ObjectiveVector hi(2, -std::numeric_limits<double>::infinity());
+  ObjectiveVector lo(nk, std::numeric_limits<double>::infinity());
+  ObjectiveVector hi(nk, -std::numeric_limits<double>::infinity());
   for (int i = 0; i < opts.samples; ++i) {
     xs.push_back(RandomPoint(d, &rng));
     fs.push_back(fn.Eval(xs.back()));
-    for (int k = 0; k < 2; ++k) {
+    for (size_t k = 0; k < nk; ++k) {
       lo[k] = std::min(lo[k], fs.back()[k]);
       hi[k] = std::max(hi[k], fs.back()[k]);
     }
   }
   // For each weight vector keep the argmin of the normalized weighted sum.
+  const std::vector<double> weights = WeightLadder(nk, opts.num_weights);
+  const size_t n_weights = weights.size() / nk;
   std::vector<std::vector<double>> win_x;
   std::vector<ObjectiveVector> win_f;
-  for (int w = 0; w < opts.num_weights; ++w) {
-    const double w0 = opts.num_weights == 1
-                          ? 0.5
-                          : static_cast<double>(w) / (opts.num_weights - 1);
-    const double w1 = 1.0 - w0;
+  for (size_t w = 0; w < n_weights; ++w) {
     double best = std::numeric_limits<double>::infinity();
     size_t best_i = 0;
     for (size_t i = 0; i < fs.size(); ++i) {
       double v = 0.0;
-      const double r0 = hi[0] > lo[0] ? (fs[i][0] - lo[0]) / (hi[0] - lo[0])
-                                      : 0.0;
-      const double r1 = hi[1] > lo[1] ? (fs[i][1] - lo[1]) / (hi[1] - lo[1])
-                                      : 0.0;
-      v = w0 * r0 + w1 * r1;
+      for (size_t k = 0; k < nk; ++k) {
+        const double r = hi[k] > lo[k]
+                             ? (fs[i][k] - lo[k]) / (hi[k] - lo[k])
+                             : 0.0;
+        v += weights[w * nk + k] * r;
+      }
       if (v < best) {
         best = v;
         best_i = i;
@@ -97,20 +133,23 @@ MooRunResult SolveSoFixedWeights(const QueryObjectiveFn& fn,
   const auto t0 = std::chrono::steady_clock::now();
   Rng rng(seed);
   const size_t d = fn.dims();
+  const size_t nk = fn.num_objectives();
+  SPARKOPT_CHECK(weights.size() >= nk)
+      << "SO-FW needs one weight per objective";
   // Scalarize raw objectives with the given fixed weights (the common
   // practice the paper critiques: no normalization by the Pareto range,
-  // just a fixed linear combination of latency and cost).
+  // just a fixed linear combination of the objectives).
   double best = std::numeric_limits<double>::infinity();
   std::vector<double> best_x;
   ObjectiveVector best_f;
-  ObjectiveVector lo(2, std::numeric_limits<double>::infinity());
-  ObjectiveVector hi(2, -std::numeric_limits<double>::infinity());
+  ObjectiveVector lo(nk, std::numeric_limits<double>::infinity());
+  ObjectiveVector hi(nk, -std::numeric_limits<double>::infinity());
   std::vector<std::vector<double>> xs;
   std::vector<ObjectiveVector> fs;
   for (int i = 0; i < samples; ++i) {
     xs.push_back(RandomPoint(d, &rng));
     fs.push_back(fn.Eval(xs.back()));
-    for (int k = 0; k < 2; ++k) {
+    for (size_t k = 0; k < nk; ++k) {
       lo[k] = std::min(lo[k], fs.back()[k]);
       hi[k] = std::max(hi[k], fs.back()[k]);
     }
@@ -118,11 +157,12 @@ MooRunResult SolveSoFixedWeights(const QueryObjectiveFn& fn,
   // Fixed-weight scalarization over z-scored objectives (a fixed, not
   // Pareto-aware, normalization as in prior SO tuners).
   for (size_t i = 0; i < xs.size(); ++i) {
-    const double r0 =
-        hi[0] > lo[0] ? (fs[i][0] - lo[0]) / (hi[0] - lo[0]) : 0.0;
-    const double r1 =
-        hi[1] > lo[1] ? (fs[i][1] - lo[1]) / (hi[1] - lo[1]) : 0.0;
-    const double v = weights[0] * r0 + weights[1] * r1;
+    double v = 0.0;
+    for (size_t k = 0; k < nk; ++k) {
+      const double r =
+          hi[k] > lo[k] ? (fs[i][k] - lo[k]) / (hi[k] - lo[k]) : 0.0;
+      v += weights[k] * r;
+    }
     if (v < best) {
       best = v;
       best_x = xs[i];
@@ -190,8 +230,10 @@ void NonDominatedSort(std::vector<Individual>* pop) {
 
 void AssignCrowding(std::vector<Individual>* pop) {
   const size_t n = pop->size();
+  if (n == 0) return;
+  const size_t nk = (*pop)[0].f.size();
   for (auto& ind : *pop) ind.crowding = 0.0;
-  for (int k = 0; k < 2; ++k) {
+  for (size_t k = 0; k < nk; ++k) {
     std::vector<size_t> order(n);
     std::iota(order.begin(), order.end(), size_t{0});
     std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
@@ -325,7 +367,7 @@ ConstrainedBest ConstrainedMinimize(const QueryObjectiveFn& fn, int k,
   const size_t d = fn.dims();
   ConstrainedBest best;
   auto feasible = [&](const ObjectiveVector& f) {
-    for (int i = 0; i < 2; ++i) {
+    for (size_t i = 0; i < lo.size(); ++i) {
       if (f[i] < lo[i] || f[i] > hi[i]) return false;
     }
     return true;
@@ -368,44 +410,62 @@ MooRunResult SolveProgressiveFrontier(const QueryObjectiveFn& fn,
   const auto t0 = std::chrono::steady_clock::now();
   Rng rng(opts.seed);
   size_t evals = 0;
-  const ObjectiveVector kInfLo = {-1e300, -1e300};
-  const ObjectiveVector kInfHi = {1e300, 1e300};
+  const size_t nk = fn.num_objectives();
+  SPARKOPT_CHECK(nk == 2 || nk == 3) << "PF supports 2 or 3 objectives";
+  const ObjectiveVector kInfLo(nk, -1e300);
+  const ObjectiveVector kInfHi(nk, 1e300);
 
   std::vector<std::vector<double>> xs;
   std::vector<ObjectiveVector> fs;
-  // Incremental Pareto archive over everything in `fs`: ParetoInsert
-  // keeps it equal (same values, same sorted order) to
+  // Incremental Pareto archive over everything in `fs`: ParetoInsert /
+  // ParetoInsert3 keeps it equal (same values, same sorted order) to
   // sort(ParetoFilter(fs)) without refiltering per iteration.
-  Front2 archive;
+  Front2 archive2;
+  Front3 archive3;
+  auto archive_size = [&]() {
+    return nk == 2 ? archive2.size() : archive3.size();
+  };
   auto record = [&](std::vector<double> x, ObjectiveVector f) {
-    ParetoInsert(&archive, f[0], f[1], archive.size());
+    if (nk == 2) {
+      ParetoInsert(&archive2, f[0], f[1], archive2.size());
+    } else {
+      ParetoInsert3(&archive3, f[0], f[1], f[2], archive3.size());
+    }
     xs.push_back(std::move(x));
     fs.push_back(std::move(f));
   };
 
   // Extreme points: unconstrained minimization of each objective.
-  ConstrainedBest ex0 =
-      ConstrainedMinimize(fn, 0, kInfLo, kInfHi, opts.inner_samples,
-                          opts.refine_steps, &rng, &evals);
-  ConstrainedBest ex1 =
-      ConstrainedMinimize(fn, 1, kInfLo, kInfHi, opts.inner_samples,
-                          opts.refine_steps, &rng, &evals);
-  if (ex0.found) record(ex0.x, ex0.f);
-  if (ex1.found) record(ex1.x, ex1.f);
+  for (size_t k = 0; k < nk; ++k) {
+    ConstrainedBest ex =
+        ConstrainedMinimize(fn, static_cast<int>(k), kInfLo, kInfHi,
+                            opts.inner_samples, opts.refine_steps, &rng,
+                            &evals);
+    if (ex.found) record(ex.x, ex.f);
+  }
 
   // Uncertainty rectangles between adjacent Pareto points, subdivided
-  // largest-first.
+  // largest-first. With 3 objectives the archive is lex-sorted by
+  // (f0, f1, f2) and the rectangles are its (f0, f1) projections — a
+  // search heuristic (the third objective is left unconstrained in the
+  // subdivision solves), not an exactness claim; the returned set is
+  // still filtered to the true non-dominated subset by FinishResult.
   struct Rect {
-    ObjectiveVector a, b;  // two corner Pareto points (a[0] < b[0])
+    ObjectiveVector a, b;  // two adjacent archive points (a[0] <= b[0])
     double volume() const {
       return std::fabs((b[0] - a[0]) * (a[1] - b[1]));
     }
   };
   auto make_rects = [&]() {
     std::vector<Rect> rects;
-    for (size_t i = 0; i + 1 < archive.size(); ++i) {
-      rects.push_back({{archive.x[i], archive.y[i]},
-                       {archive.x[i + 1], archive.y[i + 1]}});
+    for (size_t i = 0; i + 1 < archive_size(); ++i) {
+      if (nk == 2) {
+        rects.push_back({{archive2.x[i], archive2.y[i]},
+                         {archive2.x[i + 1], archive2.y[i + 1]}});
+      } else {
+        rects.push_back({{archive3.x[i], archive3.y[i]},
+                         {archive3.x[i + 1], archive3.y[i + 1]}});
+      }
     }
     return rects;
   };
@@ -419,15 +479,27 @@ MooRunResult SolveProgressiveFrontier(const QueryObjectiveFn& fn,
                                });
     if (it->volume() <= 1e-12) break;
     // Solve a constrained problem in the middle half of the rectangle:
-    // minimize f1 subject to f0 <= midpoint.
-    ObjectiveVector lo = {it->a[0], it->b[1]};
-    ObjectiveVector hi = {0.5 * (it->a[0] + it->b[0]), it->a[1]};
+    // minimize f1 subject to f0 <= midpoint. In the 2-objective
+    // staircase a[1] >= b[1] always holds, so the min/max below is the
+    // historical box verbatim; with 3 objectives adjacent archive
+    // points need not be y-ordered and min/max keeps the box
+    // well-formed.
+    const double y_lo = std::min(it->a[1], it->b[1]);
+    const double y_hi = std::max(it->a[1], it->b[1]);
+    ObjectiveVector lo = {it->a[0], y_lo};
+    ObjectiveVector hi = {0.5 * (it->a[0] + it->b[0]), y_hi};
+    if (nk == 3) {
+      lo.push_back(-1e300);
+      hi.push_back(1e300);
+    }
     auto mid = ConstrainedMinimize(fn, 1, lo, hi, opts.inner_samples,
                                    opts.refine_steps, &rng, &evals);
     if (!mid.found) {
       // Try the other half before giving up on this rectangle.
-      lo = {0.5 * (it->a[0] + it->b[0]), it->b[1]};
-      hi = {it->b[0], it->a[1]};
+      lo[0] = 0.5 * (it->a[0] + it->b[0]);
+      lo[1] = y_lo;
+      hi[0] = it->b[0];
+      hi[1] = y_hi;
       mid = ConstrainedMinimize(fn, 0, lo, hi, opts.inner_samples,
                                 opts.refine_steps, &rng, &evals);
     }
@@ -435,10 +507,14 @@ MooRunResult SolveProgressiveFrontier(const QueryObjectiveFn& fn,
     // Avoid duplicates.
     bool dup = false;
     for (const auto& f : fs) {
-      if (std::fabs(f[0] - mid.f[0]) < 1e-12 &&
-          std::fabs(f[1] - mid.f[1]) < 1e-12) {
-        dup = true;
+      bool same = true;
+      for (size_t k = 0; k < nk; ++k) {
+        if (!(std::fabs(f[k] - mid.f[k]) < 1e-12)) {
+          same = false;
+          break;
+        }
       }
+      if (same) dup = true;
     }
     if (dup) break;
     record(std::move(mid.x), std::move(mid.f));

@@ -9,7 +9,9 @@
 /// Weighted Sum (WS), the Evolutionary method (Evo, an NSGA-II), and
 /// Progressive Frontier (PF, from UDAO). Each solves a monolithic
 /// QueryObjectiveFn over the normalized decision cube and returns the
-/// non-dominated solutions found.
+/// non-dominated solutions found. All solvers follow the objective
+/// count reported by fn.num_objectives() (2 or 3); the 2-objective
+/// output is bitwise-unchanged by the 3-objective support.
 
 namespace sparkopt {
 

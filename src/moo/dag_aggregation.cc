@@ -1,0 +1,340 @@
+#include "moo/dag_aggregation.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "analysis/invariants.h"
+#include "common/check.h"
+
+namespace sparkopt {
+
+int DagAggregator::AcquireNode() {
+  if (!free_.empty()) {
+    const int idx = free_.back();
+    free_.pop_back();
+    nodes_[idx].in_use = true;
+    return idx;
+  }
+  nodes_.emplace_back();  // warm-up only: pool size peaks at tree depth
+  nodes_.back().in_use = true;
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void DagAggregator::ReleaseNode(int idx) {
+  Node& n = nodes_[idx];
+  // clear() keeps the vector capacities — the recycled node serves the
+  // next acquisition without reallocating.
+  n.f2.clear();
+  n.f3.clear();
+  n.choice = nullptr;
+  n.width = 0;
+  n.in_use = false;
+  free_.push_back(idx);
+}
+
+int DagAggregator::Leaf(const std::vector<SubQEntry>& set, int k) {
+  const int idx = AcquireNode();
+  Node& node = nodes_[idx];
+  node.width = 1;
+  int* rows = arena_.AllocArray<int>(set.size());
+  // Only the subQ-level Pareto entries can contribute (Prop. 5.1);
+  // entries were already filtered, so take them all.
+  if (k == 3) {
+    node.f3.reserve(set.size());
+    for (size_t j = 0; j < set.size(); ++j) {
+      node.f3.Append(set[j].f[0], set[j].f[1], set[j].f[2], j);
+      rows[j] = set[j].pool_idx;
+    }
+  } else {
+    node.f2.reserve(set.size());
+    for (size_t j = 0; j < set.size(); ++j) {
+      node.f2.Append(set[j].f[0], set[j].f[1], j);
+      rows[j] = set[j].pool_idx;
+    }
+  }
+  node.choice = rows;
+  return idx;
+}
+
+int DagAggregator::Merge(int a, int b, int k) {
+  // Acquire before taking references: the pool vector may grow here.
+  const int idx = AcquireNode();
+  Node& out = nodes_[idx];
+  const Node& na = nodes_[a];
+  const Node& nb = nodes_[b];
+  out.width = na.width + nb.width;
+  if (k == 3) {
+    FlatMerge3(na.f3, nb.f3, &out.f3, &scratch_);
+  } else {
+    FlatMerge2(na.f2, nb.f2, &out.f2, &scratch_);
+  }
+  const size_t n = NodePoints(out, k);
+  int* rows = arena_.AllocArray<int>(n * static_cast<size_t>(out.width));
+  int* w = rows;
+  for (const MergePair& pair : scratch_.pairs) {
+    const int* ra = na.choice + static_cast<size_t>(pair.i) * na.width;
+    const int* rb = nb.choice + static_cast<size_t>(pair.j) * nb.width;
+    w = std::copy(ra, ra + na.width, w);
+    w = std::copy(rb, rb + nb.width, w);
+  }
+  out.choice = rows;
+#ifdef SPARKOPT_VERIFY
+  // Every Minkowski-sum merge must hand a mutually non-dominated front to
+  // its parent (Algorithm 3 / Proposition B.1).
+  std::vector<ObjectiveVector> verify_front;
+  verify_front.reserve(n);
+  for (size_t p = 0; p < n; ++p) {
+    if (k == 3) {
+      verify_front.push_back({out.f3.x[p], out.f3.y[p], out.f3.z[p]});
+    } else {
+      verify_front.push_back({out.f2.x[p], out.f2.y[p]});
+    }
+  }
+  SPARKOPT_VERIFY_FRONT(verify_front, "DagAggregator::Merge");
+#endif
+  ReleaseNode(a);
+  ReleaseNode(b);
+  return idx;
+}
+
+// Thins a front to at most `cap` points, keeping the extremes and evenly
+// spaced interior points along the lexicographically sorted order (ties
+// broken by the remaining axes, then position, for determinism). Exact
+// divide-and-conquer merging can otherwise grow multiplicatively with
+// the number of subQs (the "total complexity could be high" caveat in
+// Appendix B.2).
+void DagAggregator::Thin(int node_idx, int k, size_t cap) {
+  Node& node = nodes_[node_idx];
+  const size_t n = NodePoints(node, k);
+  if (n <= cap || cap < 2) return;
+  auto& order = scratch_.order;
+  order.resize(n);
+  std::iota(order.begin(), order.end(), 0u);
+  if (k == 3) {
+    const double* x = node.f3.x.data();
+    const double* y = node.f3.y.data();
+    const double* z = node.f3.z.data();
+    std::sort(order.begin(), order.end(), [&](uint32_t p, uint32_t q) {
+      if (x[p] != x[q]) return x[p] < x[q];
+      if (y[p] != y[q]) return y[p] < y[q];
+      if (z[p] != z[q]) return z[p] < z[q];
+      return p < q;
+    });
+  } else {
+    const double* x = node.f2.x.data();
+    const double* y = node.f2.y.data();
+    std::sort(order.begin(), order.end(), [&](uint32_t p, uint32_t q) {
+      if (x[p] != x[q]) return x[p] < x[q];
+      if (y[p] != y[q]) return y[p] < y[q];
+      return p < q;
+    });
+  }
+  const int w = node.width;
+  int* rows = arena_.AllocArray<int>(cap * static_cast<size_t>(w));
+  tmp2_.clear();
+  tmp3_.clear();
+  for (size_t i = 0; i < cap; ++i) {
+    const uint32_t src = order[i * (n - 1) / (cap - 1)];
+    if (k == 3) {
+      tmp3_.Append(node.f3.x[src], node.f3.y[src], node.f3.z[src],
+                   tmp3_.size());
+    } else {
+      tmp2_.Append(node.f2.x[src], node.f2.y[src], tmp2_.size());
+    }
+    const int* row = node.choice + static_cast<size_t>(src) * w;
+    std::copy(row, row + w, rows + i * static_cast<size_t>(w));
+  }
+  // O(1) buffer swaps: the node takes the thinned front, tmp keeps the
+  // (cleared next call) old buffers at their high-water capacity.
+  if (k == 3) {
+    std::swap(node.f3, tmp3_);
+  } else {
+    std::swap(node.f2, tmp2_);
+  }
+  node.choice = rows;
+}
+
+// Optional epsilon-dominance budget (k = 2 only): shrinks the front on
+// the epsilon grid and compacts the choice rows through the surviving
+// payloads. No-op at eps <= 0, keeping the default path bitwise exact.
+void DagAggregator::EpsilonThinNode(int node_idx, double eps) {
+  Node& node = nodes_[node_idx];
+  const size_t n = node.f2.size();
+  EpsilonThin2(&node.f2, eps, &scratch_);
+  if (node.f2.size() == n) return;
+  const int w = node.width;
+  int* rows = arena_.AllocArray<int>(node.f2.size() * static_cast<size_t>(w));
+  for (size_t p = 0; p < node.f2.size(); ++p) {
+    const int* row =
+        node.choice + node.f2.payload[p] * static_cast<size_t>(w);
+    std::copy(row, row + w, rows + p * static_cast<size_t>(w));
+    node.f2.payload[p] = p;
+  }
+  node.choice = rows;
+}
+
+int DagAggregator::Recurse(const std::vector<std::vector<SubQEntry>>& sets,
+                           int lo, int hi, int k, size_t cap, double eps) {
+  if (lo == hi) return Leaf(sets[lo], k);
+  const int mid = (lo + hi) / 2;
+  const int left = Recurse(sets, lo, mid, k, cap, eps);
+  const int right = Recurse(sets, mid + 1, hi, k, cap, eps);
+  const int merged = Merge(left, right, k);
+  if (eps > 0.0 && k == 2) EpsilonThinNode(merged, eps);
+  Thin(merged, k, cap);
+  return merged;
+}
+
+void DagAggregator::AggregateDc(
+    const std::vector<std::vector<SubQEntry>>& sets, int k, size_t cap,
+    double eps, AggregatedBatch* out) {
+  SPARKOPT_CHECK(k == 2 || k == 3) << "DagAggregator supports k in {2, 3}";
+  const int m = static_cast<int>(sets.size());
+  out->clear();
+  out->k = k;
+  out->width = m;
+  for (const auto& s : sets) {
+    if (s.empty()) return;
+  }
+  arena_.Reset();
+  const int root = Recurse(sets, 0, m - 1, k, cap, eps);
+  Node& r = nodes_[root];
+  const size_t n = NodePoints(r, k);
+  out->obj.reserve(n * static_cast<size_t>(k));
+  out->choice.reserve(n * static_cast<size_t>(m));
+  for (size_t p = 0; p < n; ++p) {
+    if (k == 3) {
+      out->obj.push_back(r.f3.x[p]);
+      out->obj.push_back(r.f3.y[p]);
+      out->obj.push_back(r.f3.z[p]);
+    } else {
+      out->obj.push_back(r.f2.x[p]);
+      out->obj.push_back(r.f2.y[p]);
+    }
+    const int* row = r.choice + p * static_cast<size_t>(m);
+    out->choice.insert(out->choice.end(), row, row + m);
+  }
+  ReleaseNode(root);
+}
+
+void DagAggregator::AggregateWeightedSum(
+    const std::vector<std::vector<SubQEntry>>& sets, int k, int ws_pairs,
+    bool normalize, AggregatedBatch* out) {
+  SPARKOPT_CHECK(k == 2 || k == 3) << "DagAggregator supports k in {2, 3}";
+  const int m = static_cast<int>(sets.size());
+  out->clear();
+  out->k = k;
+  out->width = m;
+  for (const auto& s : sets) {
+    if (s.empty()) return;
+  }
+  arena_.Reset();
+  // Per-subQ min-max normalization (normalize_per_subQ in Algorithm 4).
+  // With `normalize` off the raw weighted sum is used, which makes every
+  // returned point exactly query-level Pareto optimal (Lemma 1).
+  double* lo = arena_.AllocArray<double>(static_cast<size_t>(m) * k);
+  double* hi = arena_.AllocArray<double>(static_cast<size_t>(m) * k);
+  for (int i = 0; i < m; ++i) {
+    for (int d = 0; d < k; ++d) {
+      lo[i * k + d] = normalize ? 1e300 : 0.0;
+      hi[i * k + d] = normalize ? -1e300 : 1.0;
+    }
+    if (normalize) {
+      for (const auto& e : sets[i]) {
+        for (int d = 0; d < k; ++d) {
+          lo[i * k + d] = std::min(lo[i * k + d], e.f[d]);
+          hi[i * k + d] = std::max(hi[i * k + d], e.f[d]);
+        }
+      }
+    }
+  }
+  // Weight ladder. k = 2: w_latency = w / (ws_pairs - 1) as in Algorithm
+  // 4; k = 3: the smallest simplex lattice {(a, b, t-a-b) / t} with at
+  // least ws_pairs points, enumerated in (a, b) lexicographic order.
+  size_t n_weights = static_cast<size_t>(std::max(ws_pairs, 0));
+  int t = 1;
+  if (k == 3 && ws_pairs > 0) {
+    while ((t + 1) * (t + 2) / 2 < ws_pairs) ++t;
+    n_weights = static_cast<size_t>((t + 1) * (t + 2) / 2);
+  }
+  double* w = arena_.AllocArray<double>(n_weights * k);
+  if (k == 3 && n_weights > 0) {
+    size_t row = 0;
+    for (int a = 0; a <= t; ++a) {
+      for (int b = 0; b <= t - a; ++b, ++row) {
+        w[row * 3 + 0] = static_cast<double>(a) / t;
+        w[row * 3 + 1] = static_cast<double>(b) / t;
+        w[row * 3 + 2] = static_cast<double>(t - a - b) / t;
+      }
+    }
+  } else {
+    for (size_t row = 0; row < n_weights; ++row) {
+      const double wl = n_weights == 1
+                            ? 0.5
+                            : static_cast<double>(row) / (n_weights - 1);
+      w[row * 2 + 0] = wl;
+      w[row * 2 + 1] = 1.0 - wl;
+    }
+  }
+
+  out->obj.reserve(n_weights * k);
+  out->choice.reserve(n_weights * static_cast<size_t>(m));
+  for (size_t row = 0; row < n_weights; ++row) {
+    const size_t base = out->obj.size();
+    for (int d = 0; d < k; ++d) out->obj.push_back(0.0);
+    for (int i = 0; i < m; ++i) {
+      double best_v = std::numeric_limits<double>::infinity();
+      size_t best = 0;
+      for (size_t j = 0; j < sets[i].size(); ++j) {
+        const auto& f = sets[i][j].f;
+        double v = 0.0;
+        for (int d = 0; d < k; ++d) {
+          const double range = hi[i * k + d] - lo[i * k + d];
+          const double nd =
+              range > 0 ? (f[d] - lo[i * k + d]) / range : 0.0;
+          v += w[row * k + d] * nd;
+        }
+        if (v < best_v) {
+          best_v = v;
+          best = j;
+        }
+      }
+      for (int d = 0; d < k; ++d) {
+        out->obj[base + d] += sets[i][best].f[d];
+      }
+      out->choice.push_back(sets[i][best].pool_idx);
+    }
+  }
+}
+
+void DagAggregator::AggregateBoundary(
+    const std::vector<std::vector<SubQEntry>>& sets, int k,
+    AggregatedBatch* out) {
+  SPARKOPT_CHECK(k == 2 || k == 3) << "DagAggregator supports k in {2, 3}";
+  const int m = static_cast<int>(sets.size());
+  out->clear();
+  out->k = k;
+  out->width = m;
+  for (const auto& s : sets) {
+    if (s.empty()) return;
+  }
+  out->obj.reserve(static_cast<size_t>(k) * k);
+  out->choice.reserve(static_cast<size_t>(k) * m);
+  for (int obj = 0; obj < k; ++obj) {
+    const size_t base = out->obj.size();
+    for (int d = 0; d < k; ++d) out->obj.push_back(0.0);
+    for (int i = 0; i < m; ++i) {
+      size_t best = 0;
+      for (size_t j = 1; j < sets[i].size(); ++j) {
+        if (sets[i][j].f[obj] < sets[i][best].f[obj]) best = j;
+      }
+      for (int d = 0; d < k; ++d) {
+        out->obj[base + d] += sets[i][best].f[d];
+      }
+      out->choice.push_back(sets[i][best].pool_idx);
+    }
+  }
+}
+
+}  // namespace sparkopt

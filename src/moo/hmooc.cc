@@ -3,15 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <limits>
 #include <memory>
-#include <numeric>
 
 #include "analysis/invariants.h"
 #include "common/check.h"
-#include "common/pareto_flat.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "moo/dag_aggregation.h"
 #include "moo/kmeans.h"
 #include "moo/objective_models.h"
 #include "obs/trace.h"
@@ -30,14 +28,6 @@ const char* DagAggregationName(DagAggregation a) {
 
 namespace {
 
-// One subQ-level solution in a candidate's effective set.
-struct SubQEntry {
-  int pool_idx = -1;
-  ObjectiveVector f;
-};
-// eff[c][i] = effective set of subQ i under theta_c candidate c.
-using EffectiveSet = std::vector<std::vector<std::vector<SubQEntry>>>;
-
 std::vector<double> MakeConf(const std::vector<double>& theta_c,
                              const std::vector<double>& theta_ps) {
   static const std::vector<double> kDefault = DefaultSparkConfig();
@@ -49,235 +39,6 @@ std::vector<double> MakeConf(const std::vector<double>& theta_c,
   return conf;
 }
 
-// Query-level point assembled from one entry per subQ.
-struct AggregatedPoint {
-  ObjectiveVector f;
-  int candidate = -1;
-  std::vector<int> pool_choice;  ///< per subQ: pool index
-};
-
-// ---- HMOOC3: boundary / extreme-point approximation --------------------
-void AggregateBoundary(const EffectiveSet& eff, int candidate,
-                       std::vector<AggregatedPoint>* out) {
-  const auto& subq_sets = eff[candidate];
-  const int m = static_cast<int>(subq_sets.size());
-  const int k = 2;
-  for (int obj = 0; obj < k; ++obj) {
-    AggregatedPoint pt;
-    pt.candidate = candidate;
-    pt.f.assign(k, 0.0);
-    pt.pool_choice.resize(m);
-    for (int i = 0; i < m; ++i) {
-      if (subq_sets[i].empty()) return;
-      size_t best = 0;
-      for (size_t j = 1; j < subq_sets[i].size(); ++j) {
-        if (subq_sets[i][j].f[obj] < subq_sets[i][best].f[obj]) best = j;
-      }
-      for (int d = 0; d < k; ++d) pt.f[d] += subq_sets[i][best].f[d];
-      pt.pool_choice[i] = subq_sets[i][best].pool_idx;
-    }
-    out->push_back(std::move(pt));
-  }
-}
-
-// ---- HMOOC2: weighted-sum approximation (Algorithm 4) -------------------
-void AggregateWeightedSum(const EffectiveSet& eff, int candidate,
-                          int ws_pairs, bool normalize,
-                          std::vector<AggregatedPoint>* out) {
-  const auto& subq_sets = eff[candidate];
-  const int m = static_cast<int>(subq_sets.size());
-  // Per-subQ min-max normalization (normalize_per_subQ in Algorithm 4).
-  // With `normalize` off the raw weighted sum is used, which makes every
-  // returned point exactly query-level Pareto optimal (Lemma 1).
-  std::vector<ObjectiveVector> lo(m, {0.0, 0.0});
-  std::vector<ObjectiveVector> hi(m, {1.0, 1.0});
-  if (normalize) {
-    lo.assign(m, {1e300, 1e300});
-    hi.assign(m, {-1e300, -1e300});
-    for (int i = 0; i < m; ++i) {
-      if (subq_sets[i].empty()) return;
-      for (const auto& e : subq_sets[i]) {
-        for (int d = 0; d < 2; ++d) {
-          lo[i][d] = std::min(lo[i][d], e.f[d]);
-          hi[i][d] = std::max(hi[i][d], e.f[d]);
-        }
-      }
-    }
-  } else {
-    for (int i = 0; i < m; ++i) {
-      if (subq_sets[i].empty()) return;
-    }
-  }
-  for (int w = 0; w < ws_pairs; ++w) {
-    const double wl =
-        ws_pairs == 1 ? 0.5 : static_cast<double>(w) / (ws_pairs - 1);
-    const double wc = 1.0 - wl;
-    AggregatedPoint pt;
-    pt.candidate = candidate;
-    pt.f.assign(2, 0.0);
-    pt.pool_choice.resize(m);
-    for (int i = 0; i < m; ++i) {
-      double best_v = std::numeric_limits<double>::infinity();
-      size_t best = 0;
-      for (size_t j = 0; j < subq_sets[i].size(); ++j) {
-        const auto& f = subq_sets[i][j].f;
-        const double n0 =
-            hi[i][0] > lo[i][0] ? (f[0] - lo[i][0]) / (hi[i][0] - lo[i][0])
-                                : 0.0;
-        const double n1 =
-            hi[i][1] > lo[i][1] ? (f[1] - lo[i][1]) / (hi[i][1] - lo[i][1])
-                                : 0.0;
-        const double v = wl * n0 + wc * n1;
-        if (v < best_v) {
-          best_v = v;
-          best = j;
-        }
-      }
-      pt.f[0] += subq_sets[i][best].f[0];
-      pt.f[1] += subq_sets[i][best].f[1];
-      pt.pool_choice[i] = subq_sets[i][best].pool_idx;
-    }
-    out->push_back(std::move(pt));
-  }
-}
-
-// ---- HMOOC1: exact divide-and-conquer (Algorithms 2 & 3) ----------------
-//
-// The divide-and-conquer tree runs entirely on the flat kernel
-// (pareto_flat.h): each node keeps its front in SoA layout and its
-// choice vectors as flat rows of `width` pool indices, so a merge is one
-// output-sensitive FlatMerge2 plus row concatenations — no per-point
-// ObjectiveVector or choice-vector allocations, and never the |a| x |b|
-// cross product.
-struct DcNode {
-  Front2 front;             ///< point p at (front.x[p], front.y[p])
-  std::vector<int> choice;  ///< row p = choice[p*width .. p*width+width)
-  int width = 0;            ///< subQs covered: choice-row length
-};
-
-// Thins a front to at most `cap` points, keeping the extremes and evenly
-// spaced interior points along the f0-sorted order (ties broken by f1,
-// then position, for determinism). Exact divide-and-conquer merging can
-// otherwise grow multiplicatively with the number of subQs (the "total
-// complexity could be high" caveat in Appendix B.2).
-void ThinFront(DcNode* node, size_t cap, ParetoScratch* scratch) {
-  const size_t n = node->front.size();
-  if (n <= cap || cap < 2) return;
-  auto& order = scratch->order;
-  order.resize(n);
-  std::iota(order.begin(), order.end(), 0u);
-  const double* x = node->front.x.data();
-  const double* y = node->front.y.data();
-  std::sort(order.begin(), order.end(), [&](uint32_t p, uint32_t q) {
-    if (x[p] != x[q]) return x[p] < x[q];
-    if (y[p] != y[q]) return y[p] < y[q];
-    return p < q;
-  });
-  const int w = node->width;
-  DcNode thinned;
-  thinned.width = w;
-  thinned.front.reserve(cap);
-  thinned.choice.reserve(cap * w);
-  for (size_t i = 0; i < cap; ++i) {
-    const uint32_t src = order[i * (n - 1) / (cap - 1)];
-    thinned.front.Append(node->front.x[src], node->front.y[src],
-                         thinned.front.size());
-    const int* row = node->choice.data() + static_cast<size_t>(src) * w;
-    thinned.choice.insert(thinned.choice.end(), row, row + w);
-  }
-  *node = std::move(thinned);
-}
-
-// Optional epsilon-dominance budget: shrinks the front on the epsilon
-// grid and compacts the choice rows through the surviving payloads.
-// No-op at eps <= 0, keeping the default path bitwise exact.
-void EpsilonThinDc(DcNode* node, double eps, ParetoScratch* scratch) {
-  const size_t n = node->front.size();
-  EpsilonThin2(&node->front, eps, scratch);
-  if (node->front.size() == n) return;
-  const int w = node->width;
-  std::vector<int> compact;
-  compact.reserve(node->front.size() * w);
-  for (size_t p = 0; p < node->front.size(); ++p) {
-    const int* row =
-        node->choice.data() + node->front.payload[p] * static_cast<size_t>(w);
-    compact.insert(compact.end(), row, row + w);
-    node->front.payload[p] = p;
-  }
-  node->choice = std::move(compact);
-}
-
-DcNode MergeDc(const DcNode& a, const DcNode& b, ParetoScratch* scratch) {
-  DcNode out;
-  out.width = a.width + b.width;
-  FlatMerge2(a.front, b.front, &out.front, scratch);
-  out.choice.reserve(out.front.size() * static_cast<size_t>(out.width));
-  for (const MergePair& pair : scratch->pairs) {
-    const int* ra = a.choice.data() + static_cast<size_t>(pair.i) * a.width;
-    const int* rb = b.choice.data() + static_cast<size_t>(pair.j) * b.width;
-    out.choice.insert(out.choice.end(), ra, ra + a.width);
-    out.choice.insert(out.choice.end(), rb, rb + b.width);
-  }
-#ifdef SPARKOPT_VERIFY
-  // Every Minkowski-sum merge must hand a mutually non-dominated front to
-  // its parent (Algorithm 3 / Proposition B.1).
-  std::vector<ObjectiveVector> verify_front;
-  verify_front.reserve(out.front.size());
-  for (size_t p = 0; p < out.front.size(); ++p) {
-    verify_front.push_back({out.front.x[p], out.front.y[p]});
-  }
-  SPARKOPT_VERIFY_FRONT(verify_front, "HmoocSolver::MergeDc");
-#endif
-  return out;
-}
-
-DcNode DivideAndConquer(const std::vector<std::vector<SubQEntry>>& sets,
-                        int lo, int hi, size_t cap, double eps,
-                        ParetoScratch* scratch) {
-  if (lo == hi) {
-    DcNode node;
-    node.width = 1;
-    node.front.reserve(sets[lo].size());
-    node.choice.reserve(sets[lo].size());
-    // Only the subQ-level Pareto entries can contribute (Prop. 5.1);
-    // entries were already filtered, so take them all.
-    for (const auto& e : sets[lo]) {
-      node.front.Append(e.f[0], e.f[1], node.front.size());
-      node.choice.push_back(e.pool_idx);
-    }
-    return node;
-  }
-  const int mid = (lo + hi) / 2;
-  DcNode merged =
-      MergeDc(DivideAndConquer(sets, lo, mid, cap, eps, scratch),
-              DivideAndConquer(sets, mid + 1, hi, cap, eps, scratch),
-              scratch);
-  if (eps > 0.0) EpsilonThinDc(&merged, eps, scratch);
-  ThinFront(&merged, cap, scratch);
-  return merged;
-}
-
-void AggregateDivideAndConquer(const EffectiveSet& eff, int candidate,
-                               size_t cap, double eps,
-                               std::vector<AggregatedPoint>* out) {
-  const auto& subq_sets = eff[candidate];
-  const int m = static_cast<int>(subq_sets.size());
-  for (const auto& s : subq_sets) {
-    if (s.empty()) return;
-  }
-  // Per-thread kernel scratch: candidates fan out across the worker pool.
-  thread_local ParetoScratch scratch;
-  DcNode front = DivideAndConquer(subq_sets, 0, m - 1, cap, eps, &scratch);
-  for (size_t p = 0; p < front.front.size(); ++p) {
-    AggregatedPoint pt;
-    pt.candidate = candidate;
-    pt.f = {front.front.x[p], front.front.y[p]};
-    const int* row = front.choice.data() + p * static_cast<size_t>(m);
-    pt.pool_choice.assign(row, row + m);
-    out->push_back(std::move(pt));
-  }
-}
-
 }  // namespace
 
 MooRunResult HmoocSolver::Solve() const {
@@ -286,7 +47,11 @@ MooRunResult HmoocSolver::Solve() const {
   const size_t evals_before = model_->eval_count();
   Rng rng(opts_.seed);
   const int m = model_->num_subqs();
+  const int nk = model_->num_objectives();
+  SPARKOPT_CHECK(nk == 2 || nk == 3)
+      << "HmoocSolver supports 2 or 3 objectives, got " << nk;
   span.Arg("subqs", m);
+  span.Arg("objectives", nk);
   // Multi-fidelity screening: route batched evaluations through the
   // tiered wrapper. kOff (the default) and unusable screen configs take
   // the raw model, keeping the single-fidelity path bitwise intact.
@@ -405,12 +170,17 @@ MooRunResult HmoocSolver::Solve() const {
           auto& subq_set = (*eff)[base + c][i];
           // Keep only the member-level Pareto entries (Prop. 5.1).
           for (size_t idx : ParetoIndices(fs)) {
-            subq_set.push_back({opt_pool[r][i][idx], std::move(fs[idx])});
+            SubQEntry e;
+            e.pool_idx = opt_pool[r][i][idx];
+            for (int d = 0; d < nk; ++d) e.f[d] = fs[idx][d];
+            subq_set.push_back(e);
           }
 #ifdef SPARKOPT_VERIFY
           std::vector<ObjectiveVector> subq_front;
           subq_front.reserve(subq_set.size());
-          for (const auto& e : subq_set) subq_front.push_back(e.f);
+          for (const auto& e : subq_set) {
+            subq_front.push_back(ObjectiveVector(e.f, e.f + nk));
+          }
           SPARKOPT_VERIFY_FRONT(subq_front,
                                 "HmoocSolver::Solve (subQ effective set)");
 #endif
@@ -455,56 +225,68 @@ MooRunResult HmoocSolver::Solve() const {
   obs::Span merge_span("hmooc.dag_merge");
   // Aggregate each theta_c candidate independently, then concatenate in
   // candidate order so the point sequence matches the sequential path.
-  std::vector<std::vector<AggregatedPoint>> per_cand(eff.size());
+  // One DagAggregator per worker thread: its arena, kernel scratch, and
+  // node pool reach a steady state after the first few candidates.
+  std::vector<AggregatedBatch> per_cand(eff.size());
   workers.ParallelFor(eff.size(), [&](size_t c) {
+    thread_local DagAggregator aggregator;
     switch (opts_.aggregation) {
       case DagAggregation::kBoundary:
-        AggregateBoundary(eff, static_cast<int>(c), &per_cand[c]);
+        aggregator.AggregateBoundary(eff[c], nk, &per_cand[c]);
         break;
       case DagAggregation::kWeightedSum:
-        AggregateWeightedSum(eff, static_cast<int>(c), opts_.ws_pairs,
-                             opts_.hmooc2_normalize_per_subq, &per_cand[c]);
+        aggregator.AggregateWeightedSum(eff[c], nk, opts_.ws_pairs,
+                                        opts_.hmooc2_normalize_per_subq,
+                                        &per_cand[c]);
         break;
       case DagAggregation::kDivideAndConquer:
-        AggregateDivideAndConquer(
-            eff, static_cast<int>(c),
-            static_cast<size_t>(std::max(opts_.dc_front_cap, 0)),
+        aggregator.AggregateDc(
+            eff[c], nk, static_cast<size_t>(std::max(opts_.dc_front_cap, 0)),
             opts_.dc_epsilon, &per_cand[c]);
         break;
     }
   });
-  std::vector<AggregatedPoint> points;
-  for (auto& cand_points : per_cand) {
-    for (auto& pt : cand_points) points.push_back(std::move(pt));
-  }
+  size_t total_points = 0;
+  for (const auto& batch : per_cand) total_points += batch.size();
 
   merge_span.Arg("candidates", static_cast<double>(eff.size()));
-  merge_span.Arg("points", static_cast<double>(points.size()));
+  merge_span.Arg("points", static_cast<double>(total_points));
   merge_span.End();
-  obs::Count("hmooc.aggregated_points", points.size());
+  obs::Count("hmooc.aggregated_points", total_points);
 
   // ---- Step 7: query-level Pareto filter + solution assembly -----------
   obs::Span filter_span("hmooc.pareto_filter");
   std::vector<ObjectiveVector> fs;
-  fs.reserve(points.size());
-  for (const auto& p : points) fs.push_back(p.f);
+  std::vector<int> point_cand;          // candidate of fs[p]
+  std::vector<const int*> point_choice;  // choice row of fs[p]
+  fs.reserve(total_points);
+  point_cand.reserve(total_points);
+  point_choice.reserve(total_points);
+  for (size_t c = 0; c < per_cand.size(); ++c) {
+    const AggregatedBatch& batch = per_cand[c];
+    for (size_t p = 0; p < batch.size(); ++p) {
+      fs.push_back(ObjectiveVector(batch.obj.begin() + p * nk,
+                                   batch.obj.begin() + (p + 1) * nk));
+      point_cand.push_back(static_cast<int>(c));
+      point_choice.push_back(batch.choice.data() +
+                             p * static_cast<size_t>(batch.width));
+    }
+  }
 
   MooRunResult result;
   // Deduplicate coincident points (e.g. a candidate whose two extreme
   // points collapse onto the same solution).
-  std::vector<std::pair<std::pair<double, double>, int>> seen;
+  std::vector<std::pair<ObjectiveVector, int>> seen;
   for (size_t idx : ParetoIndices(fs)) {
-    const auto& p = points[idx];
-    const std::pair<std::pair<double, double>, int> key = {
-        {p.f[0], p.f[1]}, p.candidate};
+    const std::pair<ObjectiveVector, int> key = {fs[idx], point_cand[idx]};
     if (std::find(seen.begin(), seen.end(), key) != seen.end()) continue;
     seen.push_back(key);
     MooSolution sol;
-    sol.objectives = p.f;
+    sol.objectives = fs[idx];
     sol.per_subq_conf.reserve(m);
     for (int i = 0; i < m; ++i) {
       sol.per_subq_conf.push_back(
-          MakeConf(all_theta_c[p.candidate], pool[p.pool_choice[i]]));
+          MakeConf(all_theta_c[point_cand[idx]], pool[point_choice[idx][i]]));
     }
     sol.conf = sol.per_subq_conf.front();
     result.pareto.push_back(std::move(sol));

@@ -5,11 +5,24 @@
 #include <limits>
 #include <numeric>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "obs/trace.h"
 #include "params/sampler.h"
 
 namespace sparkopt {
+
+void AnalyticSubQModel::set_num_objectives(int k) {
+  SPARKOPT_CHECK(k == 2 || k == 3)
+      << "AnalyticSubQModel supports 2 or 3 objectives, got " << k;
+  num_objectives_ = k;
+}
+
+void LearnedSubQModel::set_num_objectives(int k) {
+  SPARKOPT_CHECK(k == 2 || k == 3)
+      << "LearnedSubQModel supports 2 or 3 objectives, got " << k;
+  num_objectives_ = k;
+}
 
 ObjectiveVector AnalyticSubQModel::Evaluate(
     int subq, const std::vector<double>& conf) const {
@@ -19,21 +32,27 @@ ObjectiveVector AnalyticSubQModel::Evaluate(
   const StageParams ts = DecodeStage(conf);
   const auto obj =
       evaluator_.Evaluate(subq, tc, tp, ts, CardinalitySource::kEstimated);
+  if (num_objectives_ == 3) {
+    return {obj.analytical_latency, obj.cost, obj.io_bytes / 1e9};
+  }
   return {obj.analytical_latency, obj.cost};
 }
 
 namespace {
 
 /// Latency/cost derivation shared by the single and batched learned
-/// paths (`pred` = {latency, io_mb} from the regressor).
+/// paths (`pred` = {latency, io_mb} from the regressor). With k = 3 the
+/// predicted IO itself becomes the third objective (gigabytes).
 ObjectiveVector DeriveObjectives(const PriceBook& prices,
-                                 const ContextParams& tc, const double* pred) {
+                                 const ContextParams& tc, const double* pred,
+                                 int k) {
   const double latency = std::max(pred[0], 1e-4);
   const double io_mb = std::max(pred[1], 0.0);
   const int cores = tc.TotalCores();
   const double mem_gb = tc.executor_memory_gb * tc.executor_instances;
   const double cost =
       CloudCost(prices, cores, mem_gb, latency, io_mb / 1024.0);
+  if (k == 3) return {latency, cost, io_mb / 1024.0};
   return {latency, cost};
 }
 
@@ -51,7 +70,7 @@ ObjectiveVector LearnedSubQModel::Evaluate(
       evaluator_.query().plan, stage, conf, /*use_true_cards=*/false,
       /*beta=*/{}, /*gamma=*/{}, /*drop_theta_p=*/false);
   const auto pred = model_->Predict(features);
-  return DeriveObjectives(prices_, tc, pred.data());
+  return DeriveObjectives(prices_, tc, pred.data(), num_objectives_);
 }
 
 void LearnedSubQModel::EvaluateBatch(
@@ -84,7 +103,7 @@ void LearnedSubQModel::EvaluateBatch(
                            &scratch);
   for (size_t i = 0; i < confs.size(); ++i) {
     (*out)[i] = DeriveObjectives(prices_, DecodeContext(confs[i]),
-                                 preds.data() + i * k);
+                                 preds.data() + i * k, num_objectives_);
   }
 }
 
@@ -97,6 +116,7 @@ void SelectSurvivors2(const std::vector<ObjectiveVector>& tier0,
   out->clear();
   const size_t n = tier0.size();
   if (n == 0) return;
+  const size_t nk = tier0[0].size();
   const std::vector<size_t> front = ParetoIndices(tier0);
 
   // Margin ratio against the tier-0 front (see header). Denominators are
@@ -104,9 +124,12 @@ void SelectSurvivors2(const std::vector<ObjectiveVector>& tier0,
   std::vector<double> ratio(n, std::numeric_limits<double>::infinity());
   for (size_t i = 0; i < n; ++i) {
     for (size_t g : front) {
-      const double r0 = tier0[i][0] / std::max(tier0[g][0], 1e-12);
-      const double r1 = tier0[i][1] / std::max(tier0[g][1], 1e-12);
-      ratio[i] = std::min(ratio[i], std::max(r0, r1));
+      double worst = 0.0;
+      for (size_t d = 0; d < nk; ++d) {
+        worst = std::max(worst,
+                         tier0[i][d] / std::max(tier0[g][d], 1e-12));
+      }
+      ratio[i] = std::min(ratio[i], worst);
     }
   }
 
@@ -138,7 +161,7 @@ void SelectSurvivors2(const std::vector<ObjectiveVector>& tier0,
   // never starve the extremes of the tier-1 front.
   const size_t per_obj =
       std::min<size_t>(n, std::max<size_t>(1, std::max(min_promote, 0) / 2));
-  for (int d = 0; d < 2; ++d) {
+  for (size_t d = 0; d < nk; ++d) {
     std::vector<size_t> by_obj(n);
     std::iota(by_obj.begin(), by_obj.end(), size_t{0});
     std::partial_sort(by_obj.begin(), by_obj.begin() + per_obj, by_obj.end(),
@@ -169,6 +192,10 @@ bool ScreeningSubQModel::usable() const {
       }
       for (const auto& reg : *fidelity_.distilled) {
         if (!reg.trained()) return false;
+        // A screen must predict one value per tier-1 objective.
+        if (static_cast<int>(reg.output_dim()) != tier1_->num_objectives()) {
+          return false;
+        }
       }
       return true;
     }
@@ -191,7 +218,9 @@ void ScreeningSubQModel::EvaluateBatch(
     return;
   }
 
-  // Tier 0: screen every candidate.
+  // Tier 0: screen every candidate. Screen objective width follows the
+  // tier-1 model (the distilled screens are trained at the same width).
+  const size_t nk = static_cast<size_t>(tier1_->num_objectives());
   std::vector<ObjectiveVector> t0(n);
   if (fidelity_.mode == FidelityMode::kDistilled) {
     const Regressor& reg = (*fidelity_.distilled)[subq];
@@ -200,7 +229,7 @@ void ScreeningSubQModel::EvaluateBatch(
     thread_local std::vector<double> preds;
     thread_local Mlp::BatchScratch scratch;
     flat.assign(n * d, 0.0);
-    preds.resize(n * 2);
+    preds.resize(n * nk);
     for (size_t i = 0; i < n; ++i) {
       const size_t m = std::min(d, confs[i].size());
       std::copy(confs[i].begin(), confs[i].begin() + m,
@@ -208,8 +237,9 @@ void ScreeningSubQModel::EvaluateBatch(
     }
     reg.PredictBatchInto(flat.data(), n, preds.data(), &scratch);
     for (size_t i = 0; i < n; ++i) {
-      t0[i] = {std::max(preds[2 * i], 1e-4),
-               std::max(preds[2 * i + 1], 1e-12)};
+      t0[i] = {std::max(preds[nk * i], 1e-4),
+               std::max(preds[nk * i + 1], 1e-12)};
+      if (nk == 3) t0[i].push_back(std::max(preds[nk * i + 2], 1e-12));
     }
   } else {
     const SubQEvaluator* screen = tier1_->screen_evaluator();
@@ -218,6 +248,7 @@ void ScreeningSubQModel::EvaluateBatch(
           subq, DecodeContext(confs[i]), DecodePlan(confs[i]),
           DecodeStage(confs[i]), CardinalitySource::kEstimated);
       t0[i] = {o.analytical_latency, o.cost};
+      if (nk == 3) t0[i].push_back(o.io_bytes / 1e9);
     }
   }
   tier0_evals_.fetch_add(n, std::memory_order_relaxed);
@@ -241,7 +272,7 @@ void ScreeningSubQModel::EvaluateBatch(
                    static_cast<double>(n));
 
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  out->assign(n, ObjectiveVector{kInf, kInf});
+  out->assign(n, ObjectiveVector(nk, kInf));
   for (size_t j = 0; j < survivors.size(); ++j) {
     (*out)[survivors[j]] = std::move(t1[j]);
   }
@@ -266,6 +297,7 @@ Result<std::vector<Regressor>> TrainDistilledScreens(
   distill_x.insert(distill_x.end(), extra.begin(), extra.end());
 
   const int dims = static_cast<int>(space.size());
+  const int nk = tier1.num_objectives();
   std::vector<Regressor> screens;
   screens.reserve(tier1.num_subqs());
   std::vector<ObjectiveVector> fs;
@@ -273,13 +305,13 @@ Result<std::vector<Regressor>> TrainDistilledScreens(
     tier1.EvaluateBatch(i, labeled, &fs);
     Matrix y;
     y.reserve(fs.size());
-    for (const auto& f : fs) y.push_back({f[0], f[1]});
+    for (const auto& f : fs) y.push_back(ObjectiveVector(f.begin(), f.end()));
 
     Mlp::TrainOptions topts;
     topts.epochs = 100;
     topts.batch_size = 32;
     topts.seed = HashCombine(seed, 0xD1 + static_cast<uint64_t>(i));
-    Regressor teacher(dims, 2, {32, 16},
+    Regressor teacher(dims, nk, {32, 16},
                       HashCombine(seed, 0x7E + static_cast<uint64_t>(i)));
     SPARKOPT_RETURN_NOT_OK(teacher.Fit(labeled, y, topts));
 

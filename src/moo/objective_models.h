@@ -29,6 +29,12 @@ class AnalyticSubQModel : public SubQObjectiveModel {
       : evaluator_(query, cluster, cost, prices) {}
 
   int num_subqs() const override { return evaluator_.num_subqs(); }
+  int num_objectives() const override { return num_objectives_; }
+
+  /// Switches between {latency, cost} (k = 2, default) and
+  /// {latency, cost, io_gb} (k = 3). Call before solving; k = 2 output
+  /// is unchanged by the existence of this knob.
+  void set_num_objectives(int k);
 
   ObjectiveVector Evaluate(int subq,
                            const std::vector<double>& conf) const override;
@@ -46,6 +52,7 @@ class AnalyticSubQModel : public SubQObjectiveModel {
 
  private:
   SubQEvaluator evaluator_;
+  int num_objectives_ = 2;
   // Relaxed atomic: solver worker threads evaluate concurrently.
   mutable std::atomic<size_t> evals_{0};
 };
@@ -63,6 +70,11 @@ class LearnedSubQModel : public SubQObjectiveModel {
         prices_(prices) {}
 
   int num_subqs() const override { return evaluator_.num_subqs(); }
+  int num_objectives() const override { return num_objectives_; }
+
+  /// See AnalyticSubQModel::set_num_objectives. The learned third
+  /// objective is the regressor's predicted IO converted to gigabytes.
+  void set_num_objectives(int k);
 
   ObjectiveVector Evaluate(int subq,
                            const std::vector<double>& conf) const override;
@@ -89,14 +101,15 @@ class LearnedSubQModel : public SubQObjectiveModel {
   SubQEvaluator evaluator_;
   const Regressor* model_;
   PriceBook prices_;
+  int num_objectives_ = 2;
   mutable std::atomic<size_t> evals_{0};
 };
 
 /// \brief Dominance-aware survival selection over tier-0 objectives
-/// (2 objectives, minimization).
+/// (2 or 3 objectives — taken from the rows of `tier0` — minimization).
 ///
 /// Candidate i's margin ratio is r_i = min over tier-0 Pareto-front
-/// points g of max(f_i0 / g0, f_i1 / g1) — the smallest uniform scaling
+/// points g of max_d(f_id / g_d) — the smallest uniform scaling
 /// of some front point that weakly dominates i. Front members score
 /// r = 1, so the exact tier-0 extremes always survive. Survivors are the
 /// first max(|{i : r_i <= 1 + margin}|, K) candidates in ascending
@@ -140,6 +153,7 @@ class ScreeningSubQModel : public SubQObjectiveModel {
   bool usable() const;
 
   int num_subqs() const override { return tier1_->num_subqs(); }
+  int num_objectives() const override { return tier1_->num_objectives(); }
 
   ObjectiveVector Evaluate(int subq,
                            const std::vector<double>& conf) const override {
@@ -178,7 +192,8 @@ class ScreeningSubQModel : public SubQObjectiveModel {
 /// \brief Trains one tiny tier-0 screen per subQ for FidelityMode::
 /// kDistilled: `samples` LHS-sampled full confs are labeled by the
 /// tier-1 model (EvaluateBatch), a mid-capacity teacher regressor fits
-/// conf -> {latency, cost} per subQ, and Regressor::Distill compresses
+/// conf -> the tier-1 objective vector (k = tier1.num_objectives())
+/// per subQ, and Regressor::Distill compresses
 /// it into the final tiny student over a 2x teacher-pseudo-labeled
 /// sample. Deterministic given `seed`. The tier-1 labeling counts
 /// toward tier1's eval_count (it is real full-fidelity work).

@@ -16,7 +16,8 @@ void SubQObjectiveModel::EvaluateBatch(
 ObjectiveVector SubQObjectiveModel::EvaluateQuery(
     const std::vector<double>& theta_c_conf,
     const std::vector<std::vector<double>>& per_subq_conf) const {
-  ObjectiveVector total(2, 0.0);
+  const size_t k = static_cast<size_t>(num_objectives());
+  ObjectiveVector total(k, 0.0);
   for (int i = 0; i < num_subqs(); ++i) {
     // Each per-subQ conf shares theta_c from theta_c_conf.
     std::vector<double> conf =
@@ -25,8 +26,7 @@ ObjectiveVector SubQObjectiveModel::EvaluateQuery(
       conf[j] = theta_c_conf[j];
     }
     const auto f = Evaluate(i, conf);
-    total[0] += f[0];
-    total[1] += f[1];
+    for (size_t d = 0; d < k; ++d) total[d] += f[d];
   }
   return total;
 }
@@ -76,13 +76,13 @@ MooSolution FlatProblem::Decode(const std::vector<double>& x) const {
 
 ObjectiveVector FlatProblem::Eval(const std::vector<double>& x) const {
   MooSolution sol = Decode(x);
-  ObjectiveVector total(2, 0.0);
+  const size_t k = static_cast<size_t>(model_->num_objectives());
+  ObjectiveVector total(k, 0.0);
   const int m = model_->num_subqs();
   for (int i = 0; i < m; ++i) {
     const auto& conf = fine_grained_ ? sol.per_subq_conf[i] : sol.conf;
     const auto f = model_->Evaluate(i, conf);
-    total[0] += f[0];
-    total[1] += f[1];
+    for (size_t d = 0; d < k; ++d) total[d] += f[d];
   }
   return total;
 }

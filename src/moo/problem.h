@@ -8,8 +8,10 @@
 /// \file problem.h
 /// \brief Interfaces between the MOO algorithms and the objective models.
 ///
-/// All solvers minimize k = 2 objectives: analytical latency (seconds)
-/// and cloud cost (dollars). Two problem shapes exist:
+/// All solvers minimize k objectives: analytical latency (seconds) and
+/// cloud cost (dollars) by default (k = 2), optionally plus IO volume
+/// (gigabytes, k = 3) — see num_objectives() on each interface. Two
+/// problem shapes exist:
 ///  - subQ-separable (HMOOC): objectives are evaluated per subQ and summed
 ///    (Definition 5.1); exposed by SubQObjectiveModel.
 ///  - monolithic (WS / Evo / PF baselines): a flat decision vector covers
@@ -65,7 +67,13 @@ class SubQObjectiveModel {
   virtual ~SubQObjectiveModel() = default;
 
   virtual int num_subqs() const = 0;
-  /// Returns {analytical latency (s), cost ($)} of one subQ.
+
+  /// Number of objectives every Evaluate/EvaluateBatch vector carries.
+  /// 2 = {latency, cost}; 3 adds IO gigabytes. Solvers size their fronts
+  /// from this.
+  virtual int num_objectives() const { return 2; }
+
+  /// Returns {analytical latency (s), cost ($)[, IO (GB)]} of one subQ.
   ///
   /// Implementations must be safe to call concurrently from solver
   /// worker threads (the HMOOC fan-outs evaluate in parallel).
@@ -106,12 +114,14 @@ class QueryObjectiveFn {
  public:
   virtual ~QueryObjectiveFn() = default;
   virtual size_t dims() const = 0;
+  /// Size of every Eval result (2 or 3; see SubQObjectiveModel).
+  virtual size_t num_objectives() const { return 2; }
   virtual ObjectiveVector Eval(const std::vector<double>& x) const = 0;
 };
 
 /// One solution of the Spark tuning MOO problem.
 struct MooSolution {
-  ObjectiveVector objectives;             ///< {latency, cost}
+  ObjectiveVector objectives;             ///< {latency, cost[, io_gb]}
   std::vector<double> conf;               ///< full 19-dim (query-level view)
   /// Fine-grained assignment: full 19-dim configuration per subQ (all
   /// sharing the same theta_c block). Empty for query-level solutions.
@@ -138,6 +148,9 @@ class FlatProblem : public QueryObjectiveFn {
   FlatProblem(const SubQObjectiveModel* model, bool fine_grained);
 
   size_t dims() const override { return dims_; }
+  size_t num_objectives() const override {
+    return static_cast<size_t>(model_->num_objectives());
+  }
   ObjectiveVector Eval(const std::vector<double>& x) const override;
 
   /// Decodes a normalized decision vector into per-subQ raw confs.

@@ -39,34 +39,41 @@ StageParams StageFromSub(const std::vector<double>& sub) {
   return DecodeStage(conf);
 }
 
-// Weighted pick over candidates' (latency, cost), normalized by the
-// incumbent (candidate 0): score(c) = w0 * lat_c / lat_0 + w1 * cost_c /
-// cost_0, so the incumbent scores exactly 1. A challenger is adopted only
-// when its score beats 1 - hysteresis, keeping runtime re-optimization
-// from churning on prediction noise.
+// Weighted pick over candidates' (latency, cost[, io_gb]), normalized by
+// the incumbent (candidate 0): score(c) = w0 * lat_c / lat_0 + w1 *
+// cost_c / cost_0 (+ w2 * io_c / io_0 under a 3-weight preference), so
+// the incumbent scores exactly sum(w). A challenger is adopted only when
+// its score beats sum(w) * (1 - hysteresis), keeping runtime
+// re-optimization from churning on prediction noise. The 2-weight score
+// is bitwise-unchanged by the optional IO term.
 size_t PickWeighted(const std::vector<SubQObjectives>& cands,
                     const std::vector<double>& w,
                     double hysteresis = 0.0) {
   if (cands.empty()) return 0;
+  const bool use_io = w.size() >= 3;
   const double lat0 = std::max(cands[0].analytical_latency, 1e-9);
   const double cost0 = std::max(cands[0].cost, 1e-12);
+  const double io0 = use_io ? std::max(cands[0].io_bytes / 1e9, 1e-12) : 1.0;
+  double w_sum = w[0] + w[1];
+  if (use_io) w_sum += w[2];
   size_t best = 0;
-  double best_v = w[0] + w[1];  // incumbent's score
+  double best_v = w_sum;  // incumbent's score
   for (size_t i = 1; i < cands.size(); ++i) {
-    const double v = w[0] * cands[i].analytical_latency / lat0 +
-                     w[1] * cands[i].cost / cost0;
+    double v = w[0] * cands[i].analytical_latency / lat0 +
+               w[1] * cands[i].cost / cost0;
+    if (use_io) v += w[2] * (cands[i].io_bytes / 1e9) / io0;
     if (v < best_v) {
       best_v = v;
       best = i;
     }
   }
-  if (best != 0 && best_v > (w[0] + w[1]) * (1.0 - hysteresis)) return 0;
+  if (best != 0 && best_v > w_sum * (1.0 - hysteresis)) return 0;
 #ifdef SPARKOPT_VERIFY
-  // With both preference weights positive, the weighted argmin is always
+  // With all preference weights positive, the weighted argmin is always
   // Pareto-optimal among the candidates; an adopted challenger that the
   // kernel reports as dominated means the scoring and the dominance
   // machinery disagree.
-  if (best != 0 && w[0] > 0.0 && w[1] > 0.0) {
+  if (best != 0 && w[0] > 0.0 && w[1] > 0.0 && (!use_io || w[2] > 0.0)) {
     ParetoScratch scratch;
     scratch.ax.resize(cands.size());
     scratch.ay.resize(cands.size());
@@ -74,8 +81,20 @@ size_t PickWeighted(const std::vector<SubQObjectives>& cands,
       scratch.ax[i] = cands[i].analytical_latency;
       scratch.ay[i] = cands[i].cost;
     }
-    FlatParetoPositions(scratch.ax.data(), scratch.ay.data(), cands.size(),
-                        &scratch.kept, &scratch);
+    if (use_io) {
+      scratch.az.resize(cands.size());
+      for (size_t i = 0; i < cands.size(); ++i) {
+        scratch.az[i] = cands[i].io_bytes / 1e9;
+      }
+      // FlatParetoPositions3 only consumes scratch.order/sy/sz, so the
+      // ax/ay/az staging above can double as its input buffers.
+      FlatParetoPositions3(scratch.ax.data(), scratch.ay.data(),
+                           scratch.az.data(), cands.size(), &scratch.kept,
+                           &scratch);
+    } else {
+      FlatParetoPositions(scratch.ax.data(), scratch.ay.data(),
+                          cands.size(), &scratch.kept, &scratch);
+    }
     const bool non_dominated =
         std::find(scratch.kept.begin(), scratch.kept.end(),
                   static_cast<uint32_t>(best)) != scratch.kept.end();
@@ -162,7 +181,14 @@ void RuntimeOptimizer::OnPlanCollapsed(const LogicalPlan& plan,
   // across the workers, each writing only its own theta_p slot.
   workers_.ParallelFor(targets.size(), [&](size_t t) {
     const int sq_id = targets[t];
-    std::vector<PlanParams> cands;
+    // Steady-state solve path: reuse per-worker buffers across tasks and
+    // calls instead of reallocating (capacity is retained by clear()).
+    thread_local std::vector<PlanParams> cands;
+    thread_local std::vector<size_t> sel;
+    thread_local std::vector<ObjectiveVector> t0;
+    thread_local std::vector<SubQObjectives> objs;
+    cands.clear();
+    sel.clear();
     cands.push_back((*theta_p)[std::min<size_t>(sq_id,
                                                 theta_p->size() - 1)]);
     if (!init_theta_p_.empty()) {
@@ -173,14 +199,18 @@ void RuntimeOptimizer::OnPlanCollapsed(const LogicalPlan& plan,
     // Multi-fidelity: coarse-screen the candidates and evaluate only the
     // survivors at full fidelity. The incumbent/seed prefix is force-kept,
     // so sel[0] == 0 and PickWeighted's incumbent normalization holds.
-    std::vector<size_t> sel;
     if (opts_.fidelity.mode != FidelityMode::kOff) {
-      std::vector<ObjectiveVector> t0(cands.size());
+      const bool want_io = opts_.preference.size() >= 3;
+      t0.resize(cands.size());
       for (size_t k = 0; k < cands.size(); ++k) {
         const auto o = evaluator_->EvaluateScreen(
             sq_id, context_, cands[k], StageParams{},
             CardinalitySource::kEstimated, &completed);
-        t0[k] = {o.analytical_latency, o.cost};
+        if (want_io) {
+          t0[k] = {o.analytical_latency, o.cost, o.io_bytes / 1e9};
+        } else {
+          t0[k] = {o.analytical_latency, o.cost};
+        }
       }
       SelectSurvivors2(t0, opts_.fidelity.survival_margin,
                        opts_.fidelity.min_promote,
@@ -192,7 +222,7 @@ void RuntimeOptimizer::OnPlanCollapsed(const LogicalPlan& plan,
       sel.resize(cands.size());
       std::iota(sel.begin(), sel.end(), size_t{0});
     }
-    std::vector<SubQObjectives> objs;
+    objs.clear();
     objs.reserve(sel.size());
     for (size_t k : sel) {
       objs.push_back(evaluator_->Evaluate(sq_id, context_, cands[k],
@@ -263,12 +293,17 @@ void RuntimeOptimizer::OnStagesReady(const PhysicalPlan& plan,
     // force-kept so PickWeighted's normalization is unchanged.
     std::vector<size_t> sel;
     if (opts_.fidelity.mode != FidelityMode::kOff) {
+      const bool want_io = opts_.preference.size() >= 3;
       std::vector<ObjectiveVector> t0(cands.size());
       for (size_t k = 0; k < cands.size(); ++k) {
         const auto o = evaluator_->EvaluateScreen(
             sq_id, context_, tp, cands[k], CardinalitySource::kEstimated,
             done);
-        t0[k] = {o.analytical_latency, o.cost};
+        if (want_io) {
+          t0[k] = {o.analytical_latency, o.cost, o.io_bytes / 1e9};
+        } else {
+          t0[k] = {o.analytical_latency, o.cost};
+        }
       }
       SelectSurvivors2(t0, opts_.fidelity.survival_margin,
                        opts_.fidelity.min_promote,

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+/// \file alloc_probe.h
+/// \brief Global heap-allocation counter for zero-allocation tests.
+///
+/// The test binary that includes this header must also define the
+/// replaceable global `operator new` / `operator delete` overloads that
+/// bump `g_alloc_calls` (see tests/common/alloc_test.cc) — replacement
+/// allocation functions cannot be inline, so the definitions live in
+/// exactly one translation unit. With that in place, `AllocProbe`
+/// snapshots the counter so a test can assert that a region of code
+/// performed no heap allocations at all:
+///
+///   AllocProbe probe;
+///   HotPath();
+///   EXPECT_EQ(probe.allocations(), 0u);
+///
+/// The counter is relaxed-atomic: probes tolerate background threads
+/// but a zero assertion is only meaningful when the measured region is
+/// the sole allocator (run single-threaded regions or idle pools).
+
+namespace sparkopt {
+namespace testing {
+
+/// Total calls into the replaced global operator new (all forms).
+inline std::atomic<uint64_t> g_alloc_calls{0};
+
+/// Snapshot-based allocation counter for a code region.
+class AllocProbe {
+ public:
+  AllocProbe() : start_(g_alloc_calls.load(std::memory_order_relaxed)) {}
+
+  /// Allocations observed since construction (or the last Reset).
+  uint64_t allocations() const {
+    return g_alloc_calls.load(std::memory_order_relaxed) - start_;
+  }
+
+  void Reset() { start_ = g_alloc_calls.load(std::memory_order_relaxed); }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace testing
+}  // namespace sparkopt

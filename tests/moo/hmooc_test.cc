@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "moo/objective_models.h"
 #include "workload/tpch.h"
@@ -269,6 +270,99 @@ TEST(DagAggregationNameTest, Names) {
                "HMOOC1");
   EXPECT_STREQ(DagAggregationName(DagAggregation::kWeightedSum), "HMOOC2");
   EXPECT_STREQ(DagAggregationName(DagAggregation::kBoundary), "HMOOC3");
+}
+
+// --------------------------------------------------------------------------
+// 3-objective ({latency, cost, io_gb}) end-to-end coverage.
+// --------------------------------------------------------------------------
+
+TEST(Hmooc3ObjTest, SolvesAndReturnsValidThreeDimFront) {
+  for (auto agg : {DagAggregation::kBoundary, DagAggregation::kWeightedSum,
+                   DagAggregation::kDivideAndConquer}) {
+    Fixture fx;
+    fx.model.set_num_objectives(3);
+    HmoocSolver solver(&fx.model, fx.SmallOpts(agg));
+    auto r = solver.Solve();
+    ASSERT_FALSE(r.pareto.empty()) << DagAggregationName(agg);
+    for (const auto& sol : r.pareto) {
+      ASSERT_EQ(sol.objectives.size(), 3u) << DagAggregationName(agg);
+      for (double v : sol.objectives) EXPECT_GE(v, 0.0);
+    }
+    for (size_t i = 0; i < r.pareto.size(); ++i) {
+      for (size_t j = 0; j < r.pareto.size(); ++j) {
+        if (i != j) {
+          EXPECT_FALSE(
+              Dominates(r.pareto[j].objectives, r.pareto[i].objectives))
+              << DagAggregationName(agg);
+        }
+      }
+    }
+  }
+}
+
+TEST(Hmooc3ObjTest, ObjectivesMatchModelReEvaluation) {
+  Fixture fx;
+  fx.model.set_num_objectives(3);
+  HmoocSolver solver(&fx.model,
+                     fx.SmallOpts(DagAggregation::kDivideAndConquer));
+  auto r = solver.Solve();
+  ASSERT_FALSE(r.pareto.empty());
+  for (const auto& sol : r.pareto) {
+    ObjectiveVector total(3, 0.0);
+    for (int i = 0; i < fx.model.num_subqs(); ++i) {
+      auto f = fx.model.Evaluate(i, sol.per_subq_conf[i]);
+      ASSERT_EQ(f.size(), 3u);
+      for (int d = 0; d < 3; ++d) total[d] += f[d];
+    }
+    // The solver sums in D&C merge-tree order; linear re-accumulation
+    // may differ in the last bit, so compare with DOUBLE_EQ (4 ulp).
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_DOUBLE_EQ(total[d], sol.objectives[d]) << "objective " << d;
+    }
+  }
+}
+
+TEST(Hmooc3ObjTest, BitwiseIdenticalAcrossThreadCounts) {
+  for (auto agg : {DagAggregation::kBoundary, DagAggregation::kWeightedSum,
+                   DagAggregation::kDivideAndConquer}) {
+    Fixture seq_fx, par_fx;  // separate models: fresh eval-cache state
+    seq_fx.model.set_num_objectives(3);
+    par_fx.model.set_num_objectives(3);
+    auto seq_opts = seq_fx.SmallOpts(agg);
+    seq_opts.num_threads = 1;
+    auto par_opts = par_fx.SmallOpts(agg);
+    par_opts.num_threads = 4;
+    const auto a = HmoocSolver(&seq_fx.model, seq_opts).Solve();
+    const auto b = HmoocSolver(&par_fx.model, par_opts).Solve();
+    ASSERT_EQ(a.pareto.size(), b.pareto.size()) << DagAggregationName(agg);
+    for (size_t i = 0; i < a.pareto.size(); ++i) {
+      EXPECT_EQ(a.pareto[i].objectives, b.pareto[i].objectives)
+          << DagAggregationName(agg) << " point " << i;
+      EXPECT_EQ(a.pareto[i].per_subq_conf, b.pareto[i].per_subq_conf)
+          << DagAggregationName(agg) << " point " << i;
+    }
+    EXPECT_EQ(a.evaluations, b.evaluations);
+  }
+}
+
+TEST(Hmooc3ObjTest, TwoAndThreeObjectiveSolvesCoexist) {
+  // A 2-objective and a 3-objective solve of the same query both
+  // succeed, and the third objective (io_gb) is finite and
+  // non-negative — the IO axis is real evaluator output, not padding.
+  Fixture fx2, fx3;
+  fx3.model.set_num_objectives(3);
+  const auto r2 =
+      HmoocSolver(&fx2.model, fx2.SmallOpts(DagAggregation::kBoundary))
+          .Solve();
+  const auto r3 =
+      HmoocSolver(&fx3.model, fx3.SmallOpts(DagAggregation::kBoundary))
+          .Solve();
+  ASSERT_FALSE(r2.pareto.empty());
+  ASSERT_FALSE(r3.pareto.empty());
+  for (const auto& sol : r3.pareto) {
+    EXPECT_TRUE(std::isfinite(sol.objectives[2]));
+    EXPECT_GE(sol.objectives[2], 0.0);
+  }
 }
 
 }  // namespace

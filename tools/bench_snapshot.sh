@@ -4,10 +4,15 @@
 # BENCH_<tag>.json at the repo root and tools/bench_diff.py can diff
 # solve times instead of guessing.
 #
-# Usage: tools/bench_snapshot.sh [build_dir] [out_file]
+# Usage: tools/bench_snapshot.sh [--allow-dirty] [build_dir] [out_file]
 #   build_dir  defaults to build       (needs a Release build of bench/)
 #   out_file   defaults to BENCH_snapshot.json
 #   SPARKOPT_SNAPSHOT_REPEATS  bench repetitions (default 3)
+#
+# A snapshot taken from a dirty tree records a git_sha that does not
+# describe the benched code, which poisons every later bench_diff
+# against it — so dirty trees are refused unless --allow-dirty is given
+# (the snapshot is then marked "git_dirty": true).
 #
 # Each bench runs SPARKOPT_SNAPSHOT_REPEATS times; records sharing one
 # key tuple (the config axes declared in tools/bench_schema.json) are
@@ -17,6 +22,12 @@
 #    "results": {"<result name>": [aggregated record, ...], ...}}
 set -euo pipefail
 
+ALLOW_DIRTY=0
+if [[ "${1:-}" == "--allow-dirty" ]]; then
+  ALLOW_DIRTY=1
+  shift
+fi
+
 BUILD_DIR=${1:-build}
 OUT=${2:-BENCH_snapshot.json}
 REPEATS=${SPARKOPT_SNAPSHOT_REPEATS:-3}
@@ -24,6 +35,14 @@ SCHEMA="$(dirname "$0")/bench_schema.json"
 
 if [[ ! -x "${BUILD_DIR}/bench/bench_hmooc_solver" ]]; then
   echo "bench_snapshot: ${BUILD_DIR}/bench/ not built (cmake --build ${BUILD_DIR} -j)" >&2
+  exit 1
+fi
+
+if [[ ${ALLOW_DIRTY} -eq 0 ]] && \
+   git -C "$(dirname "$0")/.." status --porcelain 2>/dev/null | grep -q .; then
+  echo "bench_snapshot: working tree is dirty — the snapshot's git_sha" >&2
+  echo "would not describe the benched code. Commit/stash first, or pass" >&2
+  echo "--allow-dirty to record the snapshot anyway (marked git_dirty)." >&2
   exit 1
 fi
 
