@@ -20,6 +20,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  kResourceExhausted,  ///< admission quota / queue capacity exceeded
+  kUnavailable,        ///< transient: shed on shutdown, retry elsewhere
 };
 
 /// \brief Outcome of an operation: OK, or an error code plus message.
@@ -48,6 +50,12 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -67,6 +75,8 @@ class Status {
       case StatusCode::kFailedPrecondition: return "FailedPrecondition";
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kUnimplemented: return "Unimplemented";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
+      case StatusCode::kUnavailable: return "Unavailable";
     }
     return "Unknown";
   }

@@ -15,28 +15,56 @@ namespace {
 thread_local bool t_in_worker = false;
 }  // namespace
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads, bool dedicated_single_worker) {
   if (num_threads <= 0) {
     num_threads = static_cast<int>(std::thread::hardware_concurrency());
     if (num_threads <= 0) num_threads = 1;
   }
-  if (num_threads <= 1) return;  // inline mode: no workers at all
+  if (num_threads <= 1 && !dedicated_single_worker) {
+    return;  // inline mode: no workers at all
+  }
+  num_threads = std::max(num_threads, 1);
   workers_.reserve(num_threads);
   for (int t = 0; t < num_threads; ++t) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(ShutdownMode::kDrain); }
+
+void ThreadPool::Shutdown(ShutdownMode mode) {
+  // Discarded tasks are destroyed after the lock is released: RAII task
+  // wrappers may run arbitrary code in their destructors (the tuning
+  // service fails promises there) and must not do so under the pool lock.
+  std::queue<std::function<void()>> discarded;
+  bool join = false;
   {
     MutexLock lock(mu_);
+    if (mode == ShutdownMode::kAbort && !queue_.empty()) {
+      discarded.swap(queue_);
+      discarded_.fetch_add(discarded.size(), std::memory_order_relaxed);
+    }
     stop_ = true;
+    if (!joined_) {
+      joined_ = true;
+      join = true;
+    }
   }
   cv_.NotifyAll();
-  for (auto& w : workers_) w.join();
+  if (join) {
+    for (auto& w : workers_) w.join();
+  }
 }
 
-void ThreadPool::Enqueue(std::function<void()> task) {
+bool ThreadPool::Post(std::function<void()> task) {
+  if (workers_.empty() || !Enqueue(std::move(task))) {
+    discarded_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+bool ThreadPool::Enqueue(std::function<void()> task) {
   // Queue instrumentation costs one relaxed load when no session is
   // installed. With a session, each task is wrapped to record its
   // enqueue->dequeue wait; the session must stay alive until the pool's
@@ -56,11 +84,13 @@ void ThreadPool::Enqueue(std::function<void()> task) {
   size_t depth;
   {
     MutexLock lock(mu_);
+    if (stop_) return false;  // task destroyed without running
     queue_.push(std::move(task));
     depth = queue_.size();
   }
   obs::Observe("threadpool.queue_depth", static_cast<double>(depth));
   cv_.NotifyOne();
+  return true;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -145,7 +175,17 @@ void ThreadPool::ParallelFor(size_t n,
   // One fewer queued task than workers when the caller participates:
   // the calling thread runs the same claiming loop, so a fully busy pool
   // cannot deadlock the caller and small n never waits on wake-ups.
-  for (size_t t = 1; t < tasks; ++t) Enqueue(body);
+  // Rejected enqueues (pool shut down mid-call) are subtracted from the
+  // pending count — the caller's own claiming loop still covers every
+  // iteration, the work just degrades to inline.
+  size_t enqueued = 0;
+  for (size_t t = 1; t < tasks; ++t) {
+    if (Enqueue(body)) ++enqueued;
+  }
+  if (enqueued + 1 != tasks) {
+    MutexLock lock(state->done_mu);
+    state->pending_tasks -= tasks - 1 - enqueued;
+  }
   body();
 
   {

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <future>
@@ -37,13 +39,50 @@ namespace sparkopt {
 /// \brief Fixed-size thread pool with inline fallback.
 class ThreadPool {
  public:
-  /// `num_threads` <= -1 or 0 picks `hardware_concurrency`; 1 means no
-  /// worker threads at all (every call runs inline on the caller).
-  explicit ThreadPool(int num_threads = 0);
+  /// How Shutdown treats tasks still waiting in the queue.
+  enum class ShutdownMode {
+    kDrain,  ///< run every queued task to completion, then stop
+    kAbort,  ///< discard queued tasks (their destructors still run)
+  };
+
+  /// `num_threads` <= -1 or 0 picks `hardware_concurrency`; 1 normally
+  /// means no worker threads at all (every call runs inline on the
+  /// caller). `dedicated_single_worker` forces a real worker even at 1 —
+  /// what asynchronous Post callers (the tuning service) need from a
+  /// single-session pool.
+  explicit ThreadPool(int num_threads = 0,
+                      bool dedicated_single_worker = false);
+  /// Equivalent to Shutdown(ShutdownMode::kDrain) — the historical
+  /// implicit-drain destruction semantics.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Stops the pool and joins the workers. Idempotent; the first
+  /// call wins the drain-vs-abort decision for tasks queued before it.
+  ///
+  /// kDrain: workers finish everything already queued. kAbort: queued
+  /// tasks are discarded without running — but their destructors run (on
+  /// the shutting-down thread, outside the pool lock), so RAII task
+  /// wrappers can observe the shed and e.g. fail a promise. Tasks already
+  /// executing always run to completion; in-flight ParallelFor calls
+  /// finish their remaining iterations on the calling thread. After
+  /// Shutdown, Post returns false and Submit/ParallelFor run inline on
+  /// the caller.
+  void Shutdown(ShutdownMode mode) SPARKOPT_EXCLUDES(mu_);
+
+  /// \brief Fire-and-forget task submission. Returns false (task not
+  /// queued, immediately destroyed) once the pool is stopped or when the
+  /// pool runs inline (no workers): fire-and-forget has no caller to run
+  /// inline on, so inline pools reject rather than surprise-block the
+  /// poster. Callers own completion tracking (see Submit for futures).
+  bool Post(std::function<void()> task) SPARKOPT_EXCLUDES(mu_);
+
+  /// Tasks discarded by kAbort shutdowns plus tasks rejected by Post.
+  uint64_t discarded_tasks() const {
+    return discarded_.load(std::memory_order_relaxed);
+  }
 
   /// Number of worker threads (0 when running inline).
   int num_threads() const { return static_cast<int>(workers_.size()); }
@@ -66,11 +105,11 @@ class ThreadPool {
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> result = task->get_future();
-    if (workers_.empty()) {
+    // Inline pools and stopped pools run the task on the caller: Submit
+    // promises a fulfilled future either way.
+    if (workers_.empty() || !Enqueue([task] { (*task)(); })) {
       (*task)();
-      return result;
     }
-    Enqueue([task] { (*task)(); });
     return result;
   }
 
@@ -81,7 +120,9 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
-  void Enqueue(std::function<void()> task) SPARKOPT_EXCLUDES(mu_);
+  /// Queues `task` unless the pool is stopped (then returns false and
+  /// destroys the task without running it).
+  bool Enqueue(std::function<void()> task) SPARKOPT_EXCLUDES(mu_);
   void WorkerLoop() SPARKOPT_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
@@ -89,6 +130,8 @@ class ThreadPool {
   CondVar cv_;
   std::queue<std::function<void()>> queue_ SPARKOPT_GUARDED_BY(mu_);
   bool stop_ SPARKOPT_GUARDED_BY(mu_) = false;
+  bool joined_ SPARKOPT_GUARDED_BY(mu_) = false;
+  std::atomic<uint64_t> discarded_{0};
 };
 
 }  // namespace sparkopt

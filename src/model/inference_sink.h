@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+
+/// \file inference_sink.h
+/// \brief Pluggable executor for batched regressor inference.
+///
+/// A SubQObjectiveModel that runs a Regressor normally calls
+/// Regressor::PredictBatchInto directly. An InferenceSink interposes on
+/// that call so an external component — the tuning service's
+/// cross-session batcher — can coalesce rows from concurrently-solving
+/// sessions into one flat batch before dispatching the AVX2 kernel.
+///
+/// Contract: Predict must fill `out[rows * reg.output_dim()]` bitwise
+/// identically to `reg.PredictBatchInto(x, rows, out, scratch)`. The
+/// regressor guarantees per-row results do not depend on batch
+/// composition, which is what makes any coalescing sink transparent to
+/// solver output.
+
+namespace sparkopt {
+
+class Regressor;
+
+class InferenceSink {
+ public:
+  virtual ~InferenceSink() = default;
+
+  /// Predicts `rows` row-major feature rows of `reg.input_dim()` doubles
+  /// each into `out` (`rows * reg.output_dim()` doubles). May block the
+  /// calling thread (e.g. while a batch window fills); must be safe to
+  /// call from multiple threads concurrently.
+  virtual void Predict(const Regressor& reg, const double* x, size_t rows,
+                       double* out) = 0;
+};
+
+}  // namespace sparkopt

@@ -75,15 +75,26 @@ EvalCache::EvalCache(size_t capacity) {
   mask_ = cap - 1;
 }
 
-bool EvalCache::Lookup(uint64_t key, SubQObjectives* out,
-                       int* probes) const {
+bool EvalCache::Lookup(uint64_t key, SubQObjectives* out, int* probes) {
   if (key <= kBusy) key ^= 0x9E3779B97F4A7C15ULL;
   for (int d = 0; d < kMaxProbe; ++d) {
-    const Slot& slot = slots_[(key + d) & mask_];
+    Slot& slot = slots_[(key + d) & mask_];
     const uint64_t tag = slot.tag.load(std::memory_order_acquire);
     if (tag == key) {
-      *out = slot.value;
       if (probes != nullptr) *probes = d + 1;
+      // Seqlock-style read: load the payload, then re-check the tag. A
+      // concurrent eviction republishes the slot as kBusy first, so a
+      // stable tag across the fence proves the three loads saw one
+      // consistent entry.
+      const double latency = slot.latency.load(std::memory_order_relaxed);
+      const double io = slot.io_bytes.load(std::memory_order_relaxed);
+      const double cost = slot.cost.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.tag.load(std::memory_order_relaxed) != key) return false;
+      out->analytical_latency = latency;
+      out->io_bytes = io;
+      out->cost = cost;
+      slot.ref.store(1, std::memory_order_relaxed);
       return true;
     }
     if (tag == kEmpty) {
@@ -98,6 +109,14 @@ bool EvalCache::Lookup(uint64_t key, SubQObjectives* out,
 
 void EvalCache::Insert(uint64_t key, const SubQObjectives& value) {
   if (key <= kBusy) key ^= 0x9E3779B97F4A7C15ULL;
+  auto publish = [&](Slot& slot) {
+    slot.latency.store(value.analytical_latency, std::memory_order_relaxed);
+    slot.io_bytes.store(value.io_bytes, std::memory_order_relaxed);
+    slot.cost.store(value.cost, std::memory_order_relaxed);
+    slot.ref.store(1, std::memory_order_relaxed);
+    slot.tag.store(key, std::memory_order_release);
+  };
+  // Pass 1: take an empty slot (or find the key already present).
   for (int d = 0; d < kMaxProbe; ++d) {
     Slot& slot = slots_[(key + d) & mask_];
     uint64_t tag = slot.tag.load(std::memory_order_acquire);
@@ -106,37 +125,83 @@ void EvalCache::Insert(uint64_t key, const SubQObjectives& value) {
     uint64_t expected = kEmpty;
     if (slot.tag.compare_exchange_strong(expected, kBusy,
                                          std::memory_order_acq_rel)) {
-      slot.value = value;
-      slot.tag.store(key, std::memory_order_release);
+      publish(slot);
+      size_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     if (expected == key) return;
     // Lost the race to someone inserting a different key; keep probing.
   }
-  // Probe window full: drop the insert (the value is recomputable), but
-  // count it — a high drop rate means the table is undersized and hit
-  // rates will degrade while lookups still pay full-window probes.
+  // Probe window full: CLOCK second-chance replacement. The first sweep
+  // clears reference bits of recently-touched entries; the second sweep
+  // claims the first entry whose bit is still clear. Occupancy is
+  // unchanged (a published entry is replaced in place).
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (int d = 0; d < kMaxProbe; ++d) {
+      Slot& slot = slots_[(key + d) & mask_];
+      uint64_t tag = slot.tag.load(std::memory_order_acquire);
+      if (tag == key) return;
+      if (tag == kEmpty || tag == kBusy) continue;  // mid-write elsewhere
+      if (slot.ref.load(std::memory_order_relaxed) != 0) {
+        slot.ref.store(0, std::memory_order_relaxed);
+        continue;
+      }
+      if (slot.tag.compare_exchange_strong(tag, kBusy,
+                                           std::memory_order_acq_rel)) {
+        publish(slot);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      // Raced with another evictor on this slot; move on.
+    }
+  }
+  // Every slot in the window was mid-write or repeatedly raced: give up
+  // (the value is recomputable) but count it.
   drops_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void EvalCache::Clear() {
   for (size_t i = 0; i <= mask_; ++i) {
     slots_[i].tag.store(kEmpty, std::memory_order_relaxed);
+    slots_[i].ref.store(0, std::memory_order_relaxed);
   }
+  size_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
   drops_.store(0, std::memory_order_relaxed);
 }
 
 SubQEvaluator::SubQEvaluator(const Query* query, const ClusterSpec& cluster,
                              const CostModelParams& cost_params,
-                             const PriceBook& prices)
+                             const PriceBook& prices,
+                             size_t eval_cache_capacity)
     : query_(query),
       subqs_(query->plan.DecomposeSubQueries()),
       cost_model_(cluster, NoiseFree(cost_params)),
-      prices_(prices) {
+      prices_(prices),
+      cache_(eval_cache_capacity) {
   subq_of_op_.assign(query_->plan.num_ops(), -1);
   for (const auto& sq : subqs_) {
     for (int op : sq.op_ids) subq_of_op_[op] = sq.id;
   }
+}
+
+void SubQEvaluator::PublishCacheGauges() const {
+  const double hits =
+      static_cast<double>(cache_hits_.load(std::memory_order_relaxed));
+  const double misses =
+      static_cast<double>(cache_misses_.load(std::memory_order_relaxed));
+  const double lookups = hits + misses;
+  obs::GaugeSet("model.eval_cache_occupancy_frac",
+                static_cast<double>(cache_.occupancy()) /
+                    static_cast<double>(cache_.capacity()));
+  obs::GaugeSet("model.eval_cache_hit_rate",
+                lookups > 0.0 ? hits / lookups : 0.0);
+  // Inserts are attempted once per miss, so misses bound the denominator.
+  obs::GaugeSet("model.eval_cache_drop_rate",
+                misses > 0.0 ? static_cast<double>(cache_.drops()) / misses
+                             : 0.0);
+  obs::GaugeSet("model.eval_cache_evictions",
+                static_cast<double>(cache_.evictions()));
 }
 
 QueryStage SubQEvaluator::BuildStage(

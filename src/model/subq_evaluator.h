@@ -32,44 +32,70 @@ struct SubQObjectives {
   double cost = 0.0;                ///< dollars (decomposable share)
 };
 
-/// \brief Fixed-capacity, thread-safe open-addressing memo table for
-/// evaluation results.
+/// \brief Capacity-bounded, thread-safe open-addressing memo table for
+/// evaluation results, with second-chance eviction.
 ///
 /// Keys are 64-bit hashes of the full evaluation inputs; values are the
-/// three objective doubles. Lock-free: a writer claims an empty slot by
-/// CAS-ing the tag to a busy sentinel, writes the value, then publishes
-/// the key with a release store; readers only trust a slot after an
-/// acquire load of the matching key. Since evaluation is a pure function
-/// of the key's preimage, losing a race (or running out of probe budget)
-/// merely recomputes a deterministic value — correctness never depends
-/// on which thread inserted first. No resizing, no eviction: the table
-/// is sized for one solve and cleared between queries by its owner.
+/// three objective doubles. Lock-free: a writer claims a slot by CAS-ing
+/// the tag to a busy sentinel, writes the value, then publishes the key
+/// with a release store; readers validate seqlock-style — an acquire
+/// load of the matching tag, relaxed loads of the three value words, an
+/// acquire fence, then a tag re-check. If an eviction republished the
+/// slot mid-read the re-check fails and the lookup reports a miss (the
+/// value is recomputable, so a spurious miss is merely a little work).
+///
+/// When the probe window is full, Insert falls back to CLOCK-style
+/// second-chance eviction inside the window: each slot carries a
+/// reference bit set on hit and on insert; a first sweep clears set bits,
+/// a second sweep replaces the first slot whose bit is still clear. Only
+/// under extreme contention (every slot busy or repeatedly raced) does an
+/// insert drop. Since evaluation is a pure function of the key's
+/// preimage, losing a race, dropping, or evicting merely recomputes a
+/// deterministic value — correctness never depends on which thread
+/// inserted first or which entry was displaced.
 class EvalCache {
  public:
+  static constexpr size_t kDefaultCapacity = size_t{1} << 16;
+
   /// `capacity` is rounded up to a power of two (minimum 1024 slots).
-  explicit EvalCache(size_t capacity = 1 << 16);
+  explicit EvalCache(size_t capacity = kDefaultCapacity);
 
   /// True (and `*out` filled) when `key` is present. `probes`, when
   /// non-null, receives the number of slots inspected (>= 1) — the
   /// open-addressing probe length the profiler uses to price lookups.
-  bool Lookup(uint64_t key, SubQObjectives* out, int* probes = nullptr) const;
-  /// Inserts unless the probe window is exhausted (then a counted no-op;
-  /// see drops()).
+  /// Non-const: a hit touches the slot's second-chance reference bit.
+  bool Lookup(uint64_t key, SubQObjectives* out, int* probes = nullptr);
+  /// Inserts, evicting the least-recently-touched slot in the probe
+  /// window when it is full (see evictions()); drops only when every
+  /// slot in the window is mid-write (see drops()).
   void Insert(uint64_t key, const SubQObjectives& value);
-  /// Empties the table and resets the drop counter. Not thread-safe
-  /// against concurrent access.
+  /// Empties the table and resets all counters. Not thread-safe against
+  /// concurrent access.
   void Clear();
 
   size_t capacity() const { return mask_ + 1; }
-  /// Inserts silently dropped because every slot in the probe window was
-  /// taken. A high drop rate means the table is undersized for the solve
-  /// (hit rate degrades even though lookups keep paying full probes).
+  /// Slots currently holding a published entry.
+  size_t occupancy() const { return size_.load(std::memory_order_relaxed); }
+  /// Entries displaced by second-chance replacement. A high eviction
+  /// rate means the working set exceeds the table; hit rate degrades
+  /// gracefully instead of freezing the first-inserted entries.
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Inserts abandoned because every slot in the probe window was
+  /// mid-write or repeatedly raced — rare; the value is recomputable.
   uint64_t drops() const { return drops_.load(std::memory_order_relaxed); }
 
  private:
   struct Slot {
     std::atomic<uint64_t> tag{kEmpty};
-    SubQObjectives value;
+    std::atomic<uint32_t> ref{0};  ///< second-chance reference bit
+    // Values are individually atomic so evicting writers never tear a
+    // concurrent reader's view; the seqlock tag re-check in Lookup
+    // rejects any read that overlapped a republish.
+    std::atomic<double> latency{0.0};
+    std::atomic<double> io_bytes{0.0};
+    std::atomic<double> cost{0.0};
   };
   static constexpr uint64_t kEmpty = 0;
   static constexpr uint64_t kBusy = 1;
@@ -77,15 +103,21 @@ class EvalCache {
 
   std::unique_ptr<Slot[]> slots_;
   size_t mask_ = 0;
+  std::atomic<uint64_t> size_{0};
+  std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> drops_{0};
 };
 
 /// \brief Evaluates subQs of one query as standalone stages.
 class SubQEvaluator {
  public:
+  /// `eval_cache_capacity` sizes the memo table (rounded up to a power of
+  /// two, minimum 1024 slots); service deployments size it per tenant
+  /// budget instead of the single-solve default.
   SubQEvaluator(const Query* query, const ClusterSpec& cluster,
                 const CostModelParams& cost_params,
-                const PriceBook& prices = PriceBook());
+                const PriceBook& prices = PriceBook(),
+                size_t eval_cache_capacity = EvalCache::kDefaultCapacity);
 
   int num_subqs() const { return static_cast<int>(subqs_.size()); }
   const std::vector<SubQuery>& subqueries() const { return subqs_; }
@@ -180,10 +212,22 @@ class SubQEvaluator {
   uint64_t eval_cache_probes() const {
     return cache_probes_.load(std::memory_order_relaxed);
   }
-  /// Inserts dropped by the cache because the probe window was full
-  /// (EvalCache::drops); emitted next to hits/misses on the hmooc_solve
-  /// RESULT line so table-pressure is visible from benchmarks.
+  /// Inserts dropped by the cache because every probe-window slot was
+  /// mid-write (EvalCache::drops); emitted next to hits/misses on the
+  /// hmooc_solve RESULT line so table-pressure is visible from benchmarks.
   uint64_t eval_cache_drops() const { return cache_.drops(); }
+  /// Entries displaced by the cache's second-chance eviction.
+  uint64_t eval_cache_evictions() const { return cache_.evictions(); }
+  size_t eval_cache_capacity() const { return cache_.capacity(); }
+  size_t eval_cache_occupancy() const { return cache_.occupancy(); }
+
+  /// \brief Publishes eval-cache health as obs gauges
+  /// ("model.eval_cache_{occupancy_frac,hit_rate,drop_rate,evictions}")
+  /// so saturation shows up in OpenMetrics exports, not only on bench
+  /// RESULT lines. Cheap (a handful of relaxed loads); called once at the
+  /// end of every HMOOC solve and a no-op when no obs session is
+  /// installed.
+  void PublishCacheGauges() const;
 
   /// Lookups observed before the bypass decision is made, and the hit
   /// rate below which probing stops paying for itself (measured: at a

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "model/features.h"
+#include "model/inference_sink.h"
 #include "model/mlp.h"
 #include "model/subq_evaluator.h"
 #include "moo/problem.h"
@@ -25,8 +26,9 @@ class AnalyticSubQModel : public SubQObjectiveModel {
  public:
   AnalyticSubQModel(const Query* query, const ClusterSpec& cluster,
                     const CostModelParams& cost,
-                    const PriceBook& prices = PriceBook())
-      : evaluator_(query, cluster, cost, prices) {}
+                    const PriceBook& prices = PriceBook(),
+                    size_t eval_cache_capacity = EvalCache::kDefaultCapacity)
+      : evaluator_(query, cluster, cost, prices, eval_cache_capacity) {}
 
   int num_subqs() const override { return evaluator_.num_subqs(); }
   int num_objectives() const override { return num_objectives_; }
@@ -64,8 +66,9 @@ class LearnedSubQModel : public SubQObjectiveModel {
  public:
   LearnedSubQModel(const Query* query, const ClusterSpec& cluster,
                    const CostModelParams& cost, const Regressor* subq_model,
-                   const PriceBook& prices = PriceBook())
-      : evaluator_(query, cluster, cost, prices),
+                   const PriceBook& prices = PriceBook(),
+                   size_t eval_cache_capacity = EvalCache::kDefaultCapacity)
+      : evaluator_(query, cluster, cost, prices, eval_cache_capacity),
         model_(subq_model),
         prices_(prices) {}
 
@@ -97,11 +100,20 @@ class LearnedSubQModel : public SubQObjectiveModel {
 
   SubQEvaluator& evaluator() { return evaluator_; }
 
+  /// \brief Routes regressor inference through `sink` instead of calling
+  /// Regressor::PredictBatchInto directly (nullptr restores the direct
+  /// call). The sink contract (see model/inference_sink.h) guarantees
+  /// bitwise-identical predictions, so solver output is unchanged; the
+  /// tuning service uses this to coalesce rows across sessions.
+  void set_inference_sink(InferenceSink* sink) { sink_ = sink; }
+  InferenceSink* inference_sink() const { return sink_; }
+
  private:
   SubQEvaluator evaluator_;
   const Regressor* model_;
   PriceBook prices_;
   int num_objectives_ = 2;
+  InferenceSink* sink_ = nullptr;
   mutable std::atomic<size_t> evals_{0};
 };
 

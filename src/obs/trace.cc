@@ -98,8 +98,28 @@ double Session::NowMicros() const {
 
 // ---- Span --------------------------------------------------------------
 
+namespace {
+thread_local bool t_spans_suppressed = false;
+}  // namespace
+
+ScopedSpanSuppression::ScopedSpanSuppression() : prev_(t_spans_suppressed) {
+  t_spans_suppressed = true;
+}
+
+ScopedSpanSuppression::~ScopedSpanSuppression() {
+  t_spans_suppressed = prev_;
+}
+
+bool ScopedSpanSuppression::ActiveOnThisThread() {
+  return t_spans_suppressed;
+}
+
 Span::Span(const char* name) : name_(name), session_(Session::Current()) {
   if (session_ == nullptr) return;
+  if (t_spans_suppressed) {
+    session_ = nullptr;  // inert, same as "no session installed"
+    return;
+  }
   // Spans are main-thread-only (see the threading policy in trace.h);
   // workers must use ScopedHistogramTimer / obs::Observe.
   SPARKOPT_DCHECK(std::this_thread::get_id() == session_->creator_thread())

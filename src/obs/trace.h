@@ -142,6 +142,28 @@ class Span {
   std::vector<std::pair<std::string, double>> args_;
 };
 
+/// \brief RAII: makes every Span constructed on this thread inert while
+/// in scope (nests; restores the previous state on destruction).
+///
+/// For long-lived worker threads that call instrumented *main-thread*
+/// entry points — the tuning service's session workers run whole
+/// HmoocSolver::Solve calls, whose phase spans would otherwise trip the
+/// main-thread-only DCHECK. Metric helpers (Count/Observe/gauges) are
+/// unaffected: they are thread-safe and keep recording.
+class ScopedSpanSuppression {
+ public:
+  ScopedSpanSuppression();
+  ~ScopedSpanSuppression();
+  ScopedSpanSuppression(const ScopedSpanSuppression&) = delete;
+  ScopedSpanSuppression& operator=(const ScopedSpanSuppression&) = delete;
+
+  /// True when spans on the calling thread are currently suppressed.
+  static bool ActiveOnThisThread();
+
+ private:
+  bool prev_;
+};
+
 /// \brief Like Span, but records elapsed microseconds into a histogram
 /// (and bumps `<name>.count`) instead of the trace — for call sites too
 /// hot or too numerous for one trace event each (e.g. model inference).

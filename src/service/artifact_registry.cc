@@ -1,0 +1,52 @@
+#include "service/artifact_registry.h"
+
+#include <utility>
+
+namespace sparkopt {
+
+const std::vector<TableStats>* ServiceArtifacts::AddCatalog(
+    std::vector<TableStats> catalog) {
+  catalogs_.push_back(std::make_unique<const std::vector<TableStats>>(
+      std::move(catalog)));
+  return catalogs_.back().get();
+}
+
+Status ServiceArtifacts::AddQuery(Query q) {
+  if (q.name.empty()) {
+    return Status::InvalidArgument(
+        "ServiceArtifacts::AddQuery: query name is the routing key and "
+        "must be non-empty");
+  }
+  const std::string name = q.name;
+  if (!queries_.emplace(name, std::move(q)).second) {
+    return Status::InvalidArgument(
+        "ServiceArtifacts::AddQuery: duplicate query name '" + name + "'");
+  }
+  return Status::OK();
+}
+
+const Query* ServiceArtifacts::FindQuery(const std::string& name) const {
+  const auto it = queries_.find(name);
+  return it != queries_.end() ? &it->second : nullptr;
+}
+
+uint64_t ArtifactRegistry::Publish(
+    std::shared_ptr<ServiceArtifacts> artifacts) {
+  MutexLock lock(mu_);
+  artifacts->version = next_version_++;
+  const uint64_t version = artifacts->version;
+  current_ = std::move(artifacts);  // freeze: stored as pointer-to-const
+  return version;
+}
+
+std::shared_ptr<const ServiceArtifacts> ArtifactRegistry::Current() const {
+  MutexLock lock(mu_);
+  return current_;
+}
+
+uint64_t ArtifactRegistry::current_version() const {
+  MutexLock lock(mu_);
+  return current_ != nullptr ? current_->version : 0;
+}
+
+}  // namespace sparkopt

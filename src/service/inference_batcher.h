@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_safety.h"
+#include "model/inference_sink.h"
+#include "model/mlp.h"
+
+/// \file inference_batcher.h
+/// \brief Cross-session inference batcher: coalesces pending
+/// PredictBatchInto rows from concurrently-solving sessions into one
+/// flat row-major batch so per-row AVX2 throughput is realized even when
+/// each session's own batches are small.
+///
+/// Flush policy (DESIGN.md section 15): a submission whose rows push the
+/// pending total to `max_rows` flushes immediately ("full" flush); the
+/// first waiter otherwise becomes the *leader* and waits up to
+/// `max_wait_us` on a timed condvar before flushing whatever has
+/// accumulated ("timeout" flush). Followers just wait; whoever flushes
+/// executes the batch outside the lock (gather -> one PredictBatchInto
+/// per distinct regressor -> scatter), marks the covered requests done,
+/// and wakes everyone. Submissions of `max_rows` or more rows bypass the
+/// collector entirely — they already fill the vector units ("solo").
+///
+/// Transparency: Regressor::PredictBatchInto is documented bitwise
+/// identical per row regardless of batch composition, so coalescing can
+/// never change solver output — only when the kernel runs and over how
+/// many rows. Requests for different Regressor instances may share a
+/// window; the flusher groups rows by regressor before dispatch.
+
+namespace sparkopt {
+
+struct InferenceBatcherOptions {
+  /// Pending-row threshold that triggers an immediate flush, and the
+  /// bypass threshold for single submissions (>= 64 rows saturate the
+  /// AVX2 batch kernel; see bench_model_inference).
+  size_t max_rows = 64;
+  /// Longest a leader waits for co-scheduled sessions before flushing.
+  int64_t max_wait_us = 50;
+  /// Disabled: every Predict call dispatches directly (the naive
+  /// configuration benchmarks compare against).
+  bool enabled = true;
+};
+
+class InferenceBatcher : public InferenceSink {
+ public:
+  explicit InferenceBatcher(InferenceBatcherOptions opts = {});
+
+  /// InferenceSink: blocks until this request's rows are predicted
+  /// (possibly inside a coalesced batch). Thread-safe.
+  void Predict(const Regressor& reg, const double* x, size_t rows,
+               double* out) override;
+
+  struct Stats {
+    uint64_t requests = 0;       ///< Predict calls through the batcher
+    uint64_t rows = 0;           ///< total rows predicted
+    uint64_t solo = 0;           ///< bypassed (disabled / >= max_rows)
+    uint64_t full_flushes = 0;   ///< size-triggered
+    uint64_t timeout_flushes = 0;///< leader-deadline-triggered
+    uint64_t coalesced_batches = 0;  ///< flushes covering >= 2 requests
+    uint64_t coalesced_rows = 0;     ///< rows in those flushes
+  };
+  Stats stats() const;
+
+  /// Publishes "service.batcher_*" obs gauges (no-op without a session).
+  void PublishGauges() const;
+
+ private:
+  struct Request {
+    const Regressor* reg;
+    const double* x;
+    size_t rows;
+    double* out;
+    bool done = false;
+  };
+
+  /// Moves the pending list into `*batch` and resets the window.
+  void TakePendingLocked(std::vector<Request*>* batch)
+      SPARKOPT_REQUIRES(mu_);
+  /// Gather -> predict (one kernel per distinct regressor) -> scatter.
+  /// Runs without the lock; only touches requests it owns.
+  void ExecuteBatch(const std::vector<Request*>& batch);
+
+  const InferenceBatcherOptions opts_;
+  Mutex mu_;
+  CondVar cv_;
+  std::vector<Request*> pending_ SPARKOPT_GUARDED_BY(mu_);
+  size_t pending_rows_ SPARKOPT_GUARDED_BY(mu_) = 0;
+  const Request* leader_ SPARKOPT_GUARDED_BY(mu_) = nullptr;
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> rows_{0};
+  std::atomic<uint64_t> solo_{0};
+  std::atomic<uint64_t> full_flushes_{0};
+  std::atomic<uint64_t> timeout_flushes_{0};
+  std::atomic<uint64_t> coalesced_batches_{0};
+  std::atomic<uint64_t> coalesced_rows_{0};
+};
+
+}  // namespace sparkopt

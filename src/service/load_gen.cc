@@ -1,0 +1,24 @@
+#include "service/load_gen.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sparkopt {
+
+std::vector<double> PoissonArrivalSchedule(double rate_per_sec, size_t n,
+                                           uint64_t seed) {
+  if (rate_per_sec <= 0.0 || n == 0) return {};
+  Rng rng(seed);
+  std::vector<double> arrivals;
+  arrivals.reserve(n);
+  double t = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    // Uniform() is in [0, 1), so 1 - U is in (0, 1] and the log is finite.
+    t += -std::log(1.0 - rng.Uniform()) / rate_per_sec;
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+}  // namespace sparkopt

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file load_gen.h
+/// \brief Seeded open-loop arrival schedules for service benchmarks.
+///
+/// An open-loop load generator submits requests at pre-drawn arrival
+/// times regardless of completions — the standard way to measure
+/// sustained throughput and tail latency without coordinated omission.
+/// Arrival schedules are a pure function of (rate, n, seed): every draw
+/// comes from a seeded sparkopt::Rng on the calling thread, so the same
+/// inputs yield a bitwise-identical schedule on every machine (covered by
+/// a determinism test).
+
+namespace sparkopt {
+
+/// \brief Draws `n` Poisson-process arrival times (seconds, ascending,
+/// starting after 0) at `rate_per_sec` mean arrivals per second.
+///
+/// Interarrival gaps are exponential: -ln(1 - U) / rate with U drawn from
+/// Rng(seed). `rate_per_sec` must be > 0 and `n` >= 1; violations return
+/// an empty schedule.
+std::vector<double> PoissonArrivalSchedule(double rate_per_sec, size_t n,
+                                           uint64_t seed);
+
+}  // namespace sparkopt

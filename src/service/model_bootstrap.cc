@@ -1,0 +1,66 @@
+#include "service/model_bootstrap.h"
+
+#include "common/rng.h"
+#include "model/features.h"
+#include "model/subq_evaluator.h"
+#include "params/sampler.h"
+#include "params/spark_params.h"
+
+namespace sparkopt {
+
+Result<Regressor> FitSubQRegressor(const std::vector<const Query*>& queries,
+                                   const ClusterSpec& cluster,
+                                   const CostModelParams& cost_params,
+                                   const PriceBook& prices,
+                                   const BootstrapOptions& opts) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("FitSubQRegressor: no queries");
+  }
+  if (opts.samples_per_query < 4) {
+    return Status::InvalidArgument(
+        "FitSubQRegressor: need >= 4 samples per query");
+  }
+
+  constexpr double kMb = 1024.0 * 1024.0;
+  Rng rng(opts.seed);
+  const auto& space = SparkParamSpace();
+  Matrix x, y;
+  for (const Query* q : queries) {
+    // Margin 0: the training hull must cover every configuration a solve
+    // (whatever its search_margin) can emit, or the standardizer
+    // extrapolates.
+    const auto confs = SampleLatinHypercube(
+        space, static_cast<size_t>(opts.samples_per_query), &rng,
+        /*margin=*/0.0);
+    SubQEvaluator eval(q, cluster, cost_params, prices);
+    for (const auto& conf : confs) {
+      const ContextParams tc = DecodeContext(conf);
+      const PlanParams tp = DecodePlan(conf);
+      const StageParams ts = DecodeStage(conf);
+      for (int s = 0; s < eval.num_subqs(); ++s) {
+        const QueryStage stage =
+            eval.BuildStage(s, tc, tp, ts, CardinalitySource::kEstimated);
+        const SubQObjectives obj =
+            eval.Evaluate(s, tc, tp, ts, CardinalitySource::kEstimated);
+        x.push_back(StageFeatures(q->plan, stage, conf,
+                                  /*use_true_cards=*/false, /*beta=*/{},
+                                  /*gamma=*/{}, /*drop_theta_p=*/false));
+        y.push_back({obj.analytical_latency, obj.io_bytes / kMb});
+      }
+    }
+  }
+  if (x.empty()) {
+    return Status::InvalidArgument("FitSubQRegressor: queries have no subQs");
+  }
+
+  const int dim = static_cast<int>(x[0].size());
+  Regressor reg(dim, 2, opts.hidden, HashCombine(opts.seed, 0xB007));
+  Mlp::TrainOptions topts;
+  topts.epochs = opts.epochs;
+  topts.batch_size = 32;
+  topts.seed = HashCombine(opts.seed, 0x7121);
+  SPARKOPT_RETURN_NOT_OK(reg.Fit(x, y, topts));
+  return reg;
+}
+
+}  // namespace sparkopt

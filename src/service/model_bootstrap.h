@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/cluster.h"
+#include "exec/cost_model.h"
+#include "model/mlp.h"
+#include "workload/builder.h"
+
+/// \file model_bootstrap.h
+/// \brief Trains a compile-time subQ regressor on analytic labels.
+///
+/// The tuning service's learned-model sessions need a trained
+/// Regressor in their ServiceArtifacts. Production deployments would
+/// train one from execution traces (model/trainer.h); benchmarks,
+/// examples, and tests instead bootstrap a model from the analytic
+/// evaluator: LHS-sampled configurations are featurized per subQ
+/// (StageFeatures, estimated cardinalities — the compile-time view) and
+/// labeled with the analytic {latency, io_mb}. The result exercises
+/// exactly the learned inference path (feature extraction +
+/// PredictBatchInto) at a fraction of the trace-collection cost, which
+/// is what service-throughput measurements need.
+
+namespace sparkopt {
+
+struct BootstrapOptions {
+  /// LHS configurations sampled per query (each contributes one training
+  /// row per subQ).
+  int samples_per_query = 48;
+  /// Hidden layer widths of the trained regressor.
+  std::vector<int> hidden = {64, 32};
+  int epochs = 80;
+  uint64_t seed = 42;
+};
+
+/// Trains one shared subQ regressor over `queries` (all queries must
+/// share a feature dimensionality, which StageFeatures guarantees).
+/// Returns InvalidArgument on an empty query set.
+Result<Regressor> FitSubQRegressor(const std::vector<const Query*>& queries,
+                                   const ClusterSpec& cluster,
+                                   const CostModelParams& cost_params,
+                                   const PriceBook& prices = PriceBook(),
+                                   const BootstrapOptions& opts = {});
+
+}  // namespace sparkopt

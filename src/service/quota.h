@@ -1,0 +1,61 @@
+#pragma once
+
+#include <algorithm>
+
+#include "common/thread_safety.h"
+
+/// \file quota.h
+/// \brief Per-tenant admission quota: a classic token bucket.
+///
+/// A tenant accrues `rate_per_sec` tokens per second up to a `burst`
+/// ceiling; each admitted request spends one token. Time is injected by
+/// the caller as seconds on a monotonic axis (the service derives it from
+/// steady_clock; tests pass synthetic values), so quota decisions are a
+/// pure function of the (time, acquire) sequence — no hidden clock reads,
+/// per the repo's determinism rules.
+
+namespace sparkopt {
+
+class QuotaTracker {
+ public:
+  /// `rate_per_sec` <= 0 disables refill (the bucket never regains
+  /// tokens); `burst` is the bucket capacity and the initial balance.
+  QuotaTracker(double rate_per_sec, double burst)
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst) {}
+
+  QuotaTracker(const QuotaTracker&) = delete;
+  QuotaTracker& operator=(const QuotaTracker&) = delete;
+
+  /// Refills to `now_seconds`, then spends one token if available.
+  /// `now_seconds` must be non-decreasing across calls (monotonic axis);
+  /// regressions are clamped.
+  bool TryAcquire(double now_seconds) SPARKOPT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    RefillLocked(now_seconds);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  /// Current balance after refilling to `now_seconds`.
+  double Available(double now_seconds) SPARKOPT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    RefillLocked(now_seconds);
+    return tokens_;
+  }
+
+ private:
+  void RefillLocked(double now_seconds) SPARKOPT_REQUIRES(mu_) {
+    const double dt = std::max(now_seconds - last_, 0.0);
+    last_ = std::max(last_, now_seconds);
+    if (rate_ > 0.0) tokens_ = std::min(burst_, tokens_ + dt * rate_);
+  }
+
+  const double rate_;
+  const double burst_;
+  Mutex mu_;
+  double tokens_ SPARKOPT_GUARDED_BY(mu_);
+  double last_ SPARKOPT_GUARDED_BY(mu_) = 0.0;
+};
+
+}  // namespace sparkopt

@@ -188,6 +188,104 @@ TEST(ThreadPoolTest, InstrumentationCountsInlineFors) {
   EXPECT_EQ(session.metrics().CounterValue("threadpool.parallel_fors"), 0u);
 }
 
+TEST(ThreadPoolTest, DedicatedSingleWorkerHasARealThread) {
+  ThreadPool pool(1, /*dedicated_single_worker=*/true);
+  EXPECT_EQ(pool.num_threads(), 1);
+  EXPECT_EQ(pool.parallelism(), 1);
+  std::atomic<int> n{0};
+  EXPECT_TRUE(pool.Post([&] { n.fetch_add(1); }));
+  auto f = pool.Submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+  pool.Shutdown(ThreadPool::ShutdownMode::kDrain);
+  EXPECT_EQ(n.load(), 1);
+}
+
+TEST(ThreadPoolTest, PostRejectsOnInlinePool) {
+  // Fire-and-forget has no caller to run inline on: inline pools refuse
+  // rather than surprise-block the poster.
+  ThreadPool pool(1);
+  std::atomic<int> n{0};
+  EXPECT_FALSE(pool.Post([&] { n.fetch_add(1); }));
+  EXPECT_EQ(n.load(), 0);
+  EXPECT_EQ(pool.discarded_tasks(), 1u);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainRunsEverythingQueued) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(pool.Post([&] { ran.fetch_add(1); }));
+  }
+  pool.Shutdown(ThreadPool::ShutdownMode::kDrain);
+  EXPECT_EQ(ran.load(), 64);
+  EXPECT_EQ(pool.discarded_tasks(), 0u);
+}
+
+TEST(ThreadPoolTest, ShutdownAbortDiscardsBacklogButRunsDestructors) {
+  ThreadPool pool(1, /*dedicated_single_worker=*/true);
+  std::atomic<int> ran{0};
+  std::atomic<int> destroyed{0};
+  // Destructor-observing payload: a RAII wrapper (the tuning service's
+  // promise shedding) must see its closure destroyed even when the task
+  // never runs.
+  struct Tracker {
+    explicit Tracker(std::atomic<int>* d) : d_(d) {}
+    ~Tracker() { d_->fetch_add(1); }
+    std::atomic<int>* d_;
+  };
+  // Park the single worker so the backlog cannot start.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> parked;
+  ASSERT_TRUE(pool.Post([&, gate] {
+    parked.set_value();
+    gate.wait();
+  }));
+  parked.get_future().wait();
+  for (int i = 0; i < 16; ++i) {
+    auto t = std::make_shared<Tracker>(&destroyed);
+    ASSERT_TRUE(pool.Post([&ran, t] { ran.fetch_add(1); }));
+  }
+  release.set_value();  // unblock before joining
+  pool.Shutdown(ThreadPool::ShutdownMode::kAbort);
+  // Everything not started by the time Shutdown swapped the queue was
+  // discarded with its destructor run; nothing is lost either way.
+  EXPECT_EQ(ran.load() + static_cast<int>(pool.discarded_tasks()), 16);
+  EXPECT_EQ(destroyed.load(), 16);
+  // Post after shutdown is refused.
+  const uint64_t discarded_before = pool.discarded_tasks();
+  EXPECT_FALSE(pool.Post([&] { ran.fetch_add(1); }));
+  EXPECT_EQ(pool.discarded_tasks(), discarded_before + 1);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotentAndFirstCallWins) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Post([&] { ran.fetch_add(1); });
+  }
+  pool.Shutdown(ThreadPool::ShutdownMode::kDrain);
+  const int after_drain = ran.load();
+  pool.Shutdown(ThreadPool::ShutdownMode::kAbort);  // no-op
+  EXPECT_EQ(ran.load(), after_drain);
+  EXPECT_EQ(after_drain, 8);
+}
+
+TEST(ThreadPoolTest, WorkDegradesToInlineAfterShutdown) {
+  ThreadPool pool(4);
+  pool.Shutdown(ThreadPool::ShutdownMode::kDrain);
+  // Submit and ParallelFor still complete — on the calling thread.
+  auto f = pool.Submit([] { return 41; });
+  EXPECT_EQ(f.get(), 41);
+  std::vector<int> out(100, 0);
+  pool.ParallelFor(out.size(), [&](size_t i) {
+    out[i] = static_cast<int>(i);
+  });
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i));
+  }
+}
+
 TEST(ThreadPoolTest, SharedPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::Shared(), &ThreadPool::Shared());
   std::atomic<int> sum{0};

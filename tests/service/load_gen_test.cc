@@ -1,0 +1,44 @@
+#include "service/load_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace sparkopt {
+namespace {
+
+TEST(LoadGenTest, ScheduleIsBitwiseDeterministic) {
+  const auto a = PoissonArrivalSchedule(50.0, 1000, 7);
+  const auto b = PoissonArrivalSchedule(50.0, 1000, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "arrival " << i;
+  }
+}
+
+TEST(LoadGenTest, SeedChangesTheSchedule) {
+  const auto a = PoissonArrivalSchedule(50.0, 100, 7);
+  const auto b = PoissonArrivalSchedule(50.0, 100, 8);
+  EXPECT_NE(a, b);
+}
+
+TEST(LoadGenTest, ArrivalsAscendAndMeanGapMatchesRate) {
+  const double rate = 200.0;
+  const auto t = PoissonArrivalSchedule(rate, 20000, 3);
+  ASSERT_EQ(t.size(), 20000u);
+  EXPECT_GT(t[0], 0.0);
+  for (size_t i = 1; i < t.size(); ++i) {
+    EXPECT_GE(t[i], t[i - 1]);
+  }
+  // Mean interarrival converges on 1/rate (law of large numbers; 20k
+  // draws put the sample mean well within 5%).
+  const double mean_gap = t.back() / static_cast<double>(t.size());
+  EXPECT_NEAR(mean_gap, 1.0 / rate, 0.05 / rate);
+}
+
+TEST(LoadGenTest, InvalidInputsYieldEmptySchedule) {
+  EXPECT_TRUE(PoissonArrivalSchedule(0.0, 10, 1).empty());
+  EXPECT_TRUE(PoissonArrivalSchedule(-1.0, 10, 1).empty());
+  EXPECT_TRUE(PoissonArrivalSchedule(10.0, 0, 1).empty());
+}
+
+}  // namespace
+}  // namespace sparkopt

@@ -1,0 +1,65 @@
+#include "service/quota.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace sparkopt {
+namespace {
+
+TEST(QuotaTrackerTest, BurstGrantsInitialTokens) {
+  QuotaTracker q(/*rate_per_sec=*/1.0, /*burst=*/3.0);
+  EXPECT_TRUE(q.TryAcquire(0.0));
+  EXPECT_TRUE(q.TryAcquire(0.0));
+  EXPECT_TRUE(q.TryAcquire(0.0));
+  EXPECT_FALSE(q.TryAcquire(0.0));
+}
+
+TEST(QuotaTrackerTest, RefillsAtRate) {
+  QuotaTracker q(/*rate_per_sec=*/2.0, /*burst=*/1.0);
+  EXPECT_TRUE(q.TryAcquire(0.0));
+  EXPECT_FALSE(q.TryAcquire(0.0));
+  // 0.5s at 2 tokens/s regains exactly the one spent.
+  EXPECT_TRUE(q.TryAcquire(0.5));
+  EXPECT_FALSE(q.TryAcquire(0.5));
+}
+
+TEST(QuotaTrackerTest, BalanceCapsAtBurst) {
+  QuotaTracker q(/*rate_per_sec=*/100.0, /*burst=*/2.0);
+  EXPECT_DOUBLE_EQ(q.Available(1000.0), 2.0);
+}
+
+TEST(QuotaTrackerTest, ZeroRateNeverRefills) {
+  QuotaTracker q(/*rate_per_sec=*/0.0, /*burst=*/2.0);
+  EXPECT_TRUE(q.TryAcquire(0.0));
+  EXPECT_TRUE(q.TryAcquire(10.0));
+  EXPECT_FALSE(q.TryAcquire(1e9));
+}
+
+TEST(QuotaTrackerTest, ClockRegressionsAreClamped) {
+  QuotaTracker q(/*rate_per_sec=*/1.0, /*burst=*/1.0);
+  EXPECT_TRUE(q.TryAcquire(5.0));
+  // Going backwards must not mint tokens (dt clamps to 0).
+  EXPECT_FALSE(q.TryAcquire(4.0));
+  // Refill resumes from the high-water mark.
+  EXPECT_TRUE(q.TryAcquire(6.0));
+}
+
+TEST(QuotaTrackerTest, ConcurrentAcquiresNeverOverspend) {
+  QuotaTracker q(/*rate_per_sec=*/0.0, /*burst=*/64.0);
+  std::atomic<int> granted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 32; ++i) {
+        if (q.TryAcquire(0.0)) granted.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(granted.load(), 64);
+}
+
+}  // namespace
+}  // namespace sparkopt

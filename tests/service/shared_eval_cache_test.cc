@@ -1,0 +1,117 @@
+#include "service/shared_eval_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sparkopt {
+namespace {
+
+/// Payload as a pure function of the key: any hit whose fields disagree
+/// with this is a torn read.
+SubQObjectives ValueOf(uint64_t key) {
+  SubQObjectives v;
+  v.analytical_latency = static_cast<double>(key & 0xFFFF) + 0.5;
+  v.io_bytes = static_cast<double>(key >> 16) * 2.0;
+  v.cost = static_cast<double>(key % 97) * 0.125;
+  return v;
+}
+
+TEST(SharedEvalCacheTest, RoundTripsAcrossShards) {
+  SharedEvalCache cache({/*shards=*/8, /*capacity_per_shard=*/1024});
+  EXPECT_EQ(cache.capacity(), 8u * 1024u);
+  // Keys spread over the full 64-bit range: shard routing uses the high
+  // bits, slot probing the low bits.
+  Rng rng(11);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 500; ++i) keys.push_back(rng.Next());
+  for (uint64_t k : keys) cache.Insert(k, ValueOf(k));
+  for (uint64_t k : keys) {
+    SubQObjectives got;
+    ASSERT_TRUE(cache.Lookup(k, &got)) << "key " << k;
+    EXPECT_EQ(got.analytical_latency, ValueOf(k).analytical_latency);
+    EXPECT_EQ(got.io_bytes, ValueOf(k).io_bytes);
+    EXPECT_EQ(got.cost, ValueOf(k).cost);
+  }
+  EXPECT_EQ(cache.hits(), 500u);
+  EXPECT_EQ(cache.occupancy(), 500u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 1.0);
+}
+
+TEST(SharedEvalCacheTest, MissesAreCounted) {
+  SharedEvalCache cache({4, 1024});
+  SubQObjectives got;
+  EXPECT_FALSE(cache.Lookup(123, &got));
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.0);
+}
+
+TEST(SharedEvalCacheTest, ClearResetsEverything) {
+  SharedEvalCache cache({2, 1024});
+  cache.Insert(42, ValueOf(42));
+  SubQObjectives got;
+  EXPECT_TRUE(cache.Lookup(42, &got));
+  cache.Clear();
+  EXPECT_EQ(cache.occupancy(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_FALSE(cache.Lookup(42, &got));
+}
+
+TEST(SharedEvalCacheTest, ShardCountRoundsUpToPowerOfTwo) {
+  SharedEvalCache cache({/*shards=*/5, /*capacity_per_shard=*/1024});
+  EXPECT_EQ(cache.capacity(), 8u * 1024u);
+}
+
+// The TSan target for the service: concurrent writers and readers over a
+// deliberately small cache, so insert races, seqlock-guarded reads, and
+// CLOCK eviction all fire constantly. Correctness claim: a Lookup either
+// misses or returns the exact pure-function payload of its key.
+TEST(SharedEvalCacheTest, ConcurrentStressNeverTearsValues) {
+  SharedEvalCache cache({/*shards=*/2, /*capacity_per_shard=*/1024});
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 20000;
+  // Key space ~4x the slot count: heavy eviction pressure, frequent
+  // same-key collisions between threads.
+  constexpr uint64_t kKeySpace = 8192;
+
+  std::atomic<uint64_t> torn{0};
+  std::atomic<uint64_t> hits{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        // Spread keys across the hash range so both shards see traffic.
+        const uint64_t key =
+            HashCombine(0xABCD, rng.Next() % kKeySpace) | 2;
+        if (i % 3 == 0) {
+          cache.Insert(key, ValueOf(key));
+        } else {
+          SubQObjectives got;
+          if (cache.Lookup(key, &got)) {
+            hits.fetch_add(1, std::memory_order_relaxed);
+            const SubQObjectives want = ValueOf(key);
+            if (got.analytical_latency != want.analytical_latency ||
+                got.io_bytes != want.io_bytes || got.cost != want.cost) {
+              torn.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  // Sanity: the workload actually exercised the cache.
+  EXPECT_GT(hits.load(), 0u);
+  EXPECT_GT(cache.occupancy(), 0u);
+  EXPECT_LE(cache.occupancy(), cache.capacity());
+}
+
+}  // namespace
+}  // namespace sparkopt

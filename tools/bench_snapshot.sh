@@ -59,6 +59,10 @@ for ((rep = 0; rep < REPEATS; ++rep)); do
     | grep '^RESULT ' >> "${tmp}"
   SPARKOPT_BENCH_FAST=1 "${BUILD_DIR}/bench/bench_pareto_ops" \
     --benchmark_filter='^$' | grep '^RESULT ' >> "${tmp}"
+  # Low-load open-loop service run: throughput/latency/speedup records
+  # (fast mode shrinks the request counts, not the config matrix).
+  SPARKOPT_BENCH_FAST=1 "${BUILD_DIR}/bench/bench_tuning_service" \
+    | grep '^RESULT ' >> "${tmp}"
 done
 # The pruning/observability bench drives the full tuner and measures its
 # own repeats internally — run it once.
